@@ -1,0 +1,275 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section (Section 5). Each benchmark runs the corresponding experiment at
+// quick fidelity (scaled-down cell, coarse arrival-rate sweep) so the whole
+// suite completes in minutes; cmd/gprs-experiments -full reproduces the
+// paper-resolution figures. The reported metrics include the number of model
+// solutions ("solves") per figure.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// benchOptions are the quick-fidelity options used by every figure benchmark.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Fidelity:          experiments.Quick,
+		Tolerance:         1e-6,
+		WithSimulation:    false,
+		SimMeasurementSec: 600,
+	}
+}
+
+func reportSolves(b *testing.B, figs []experiments.Figure) {
+	b.Helper()
+	var solves int
+	for _, f := range figs {
+		for _, s := range f.Series {
+			solves += len(s.X)
+		}
+	}
+	b.ReportMetric(float64(solves), "solves/op")
+}
+
+// BenchmarkTable2BaseParameters regenerates Table 2 (base parameter setting).
+func BenchmarkTable2BaseParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableBaseParameters()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3TrafficModels regenerates Table 3 (traffic models).
+func BenchmarkTable3TrafficModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableTrafficModels()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig5ThresholdCalibration regenerates Fig. 5 (PLP vs eta, including
+// a short detailed-simulator run with TCP).
+func BenchmarkFig5ThresholdCalibration(b *testing.B) {
+	opts := benchOptions()
+	opts.WithSimulation = true
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig5ThresholdCalibration(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, []experiments.Figure{fig})
+	}
+}
+
+// BenchmarkFig6Validation regenerates Fig. 6 (model vs simulator, CDT and
+// ATU).
+func BenchmarkFig6Validation(b *testing.B) {
+	opts := benchOptions()
+	opts.WithSimulation = true
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig6Validation(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig7CDT regenerates Fig. 7 (CDT, traffic models 1 and 2).
+func BenchmarkFig7CDT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig7CDT(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig8PLP regenerates Fig. 8 (PLP, traffic models 1 and 2).
+func BenchmarkFig8PLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig8PLP(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig9QD regenerates Fig. 9 (queueing delay, traffic models 1 and 2).
+func BenchmarkFig9QD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig9QD(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig10SessionLimit regenerates Fig. 10 (CDT and GPRS session
+// blocking for different session limits M).
+func BenchmarkFig10SessionLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig10SessionLimit(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig11TwoPercent regenerates Fig. 11 (CDT and ATU, 2% GPRS users).
+func BenchmarkFig11TwoPercent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig11TwoPercent(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig12FivePercent regenerates Fig. 12 (CDT and ATU, 5% GPRS users).
+func BenchmarkFig12FivePercent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig12FivePercent(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig13TenPercent regenerates Fig. 13 (CDT and ATU, 10% GPRS users).
+func BenchmarkFig13TenPercent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig13TenPercent(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig14VoiceImpact regenerates Fig. 14 (CVT and voice blocking).
+func BenchmarkFig14VoiceImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig14VoiceImpact(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkFig15GPRSPopulation regenerates Fig. 15 (average GPRS users and
+// session blocking).
+func BenchmarkFig15GPRSPopulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig15GPRSPopulation(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSolves(b, figs)
+	}
+}
+
+// BenchmarkSolverAblation compares Gauss-Seidel, Jacobi, and power iteration
+// on the same model (the solver design choice called out in DESIGN.md).
+func BenchmarkSolverAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		got, err := experiments.SolverAblation(experiments.Options{Tolerance: 1e-6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(got[0].Iterations), "gs-iters")
+		b.ReportMetric(float64(got[2].Iterations), "power-iters")
+	}
+}
+
+// BenchmarkHandoverBalancing measures the handover-flow fixed point iteration
+// (Eqs. 4-5) in isolation.
+func BenchmarkHandoverBalancing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.HandoverBalancingAblation(traffic.Model1, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Iterations), "fixedpoint-iters")
+	}
+}
+
+// BenchmarkModelSolveSingle measures one steady-state solution of the
+// quick-fidelity model of traffic model 3 at 0.5 calls/s (the building block
+// of every figure).
+func BenchmarkModelSolveSingle(b *testing.B) {
+	cfg := core.BaseConfig(traffic.Model3, 0.5)
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	cfg.MaxSessions = 10
+	model, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Solve(ctmc.SolveOptions{Tolerance: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneratorConstruction measures building the sparse generator of
+// the quick-fidelity state space.
+func BenchmarkGeneratorConstruction(b *testing.B) {
+	cfg := core.BaseConfig(traffic.Model3, 0.5)
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	cfg.MaxSessions = 10
+	model, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.BuildGenerator(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetailedSimulator measures a short detailed-simulator run with TCP
+// at the quick-fidelity cell size.
+func BenchmarkDetailedSimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(traffic.Model3, 0.5)
+		cfg.Channels.TotalChannels = 10
+		cfg.BufferSize = 30
+		cfg.MaxSessions = 10
+		cfg.WarmupSec = 200
+		cfg.MeasurementSec = 1000
+		cfg.Batches = 5
+		cfg.Seed = int64(i + 1)
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events)/float64(res.SimulatedSec), "events/simulated-s")
+	}
+}

@@ -1,0 +1,112 @@
+// Command gprs-experiments regenerates the tables and figures of the paper's
+// evaluation section and writes one CSV file per figure.
+//
+// Examples:
+//
+//	gprs-experiments                      # quick fidelity, every figure
+//	gprs-experiments -full -out results   # paper-resolution sweep
+//	gprs-experiments -figure fig12        # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gprs-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gprs-experiments", flag.ContinueOnError)
+	var (
+		full    = fs.Bool("full", false, "run the paper-resolution parameter setting (slow)")
+		figure  = fs.String("figure", "all", "figure to regenerate: all, tables, fig5 ... fig15")
+		outDir  = fs.String("out", "results", "directory for CSV output")
+		workers = fs.Int("workers", 0, "concurrent model solutions (0 = NumCPU)")
+		noSim   = fs.Bool("no-sim", false, "skip the detailed-simulator series of figs 5 and 6")
+		tol     = fs.Float64("tol", 0, "steady-state solver tolerance (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{
+		Fidelity:       experiments.Quick,
+		Workers:        *workers,
+		WithSimulation: !*noSim,
+		Tolerance:      *tol,
+	}
+	if *full {
+		opts.Fidelity = experiments.Full
+	}
+
+	if *figure == "tables" || *figure == "all" {
+		fmt.Print(experiments.TableBaseParameters().String())
+		fmt.Println()
+		fmt.Print(experiments.TableTrafficModels().String())
+		fmt.Println()
+		if *figure == "tables" {
+			return nil
+		}
+	}
+
+	figs, err := selectFigures(*figure, opts)
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		fmt.Print(experiments.FormatFigure(fig))
+		fmt.Println()
+	}
+	paths, err := experiments.WriteAllCSV(figs, *outDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d CSV files to %s\n", len(paths), *outDir)
+	return nil
+}
+
+func selectFigures(name string, opts experiments.Options) ([]experiments.Figure, error) {
+	single := func(fig experiments.Figure, err error) ([]experiments.Figure, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Figure{fig}, nil
+	}
+	switch strings.ToLower(name) {
+	case "all":
+		return experiments.AllFigures(opts)
+	case "fig5":
+		return single(experiments.Fig5ThresholdCalibration(opts))
+	case "fig6":
+		return experiments.Fig6Validation(opts)
+	case "fig7":
+		return experiments.Fig7CDT(opts)
+	case "fig8":
+		return experiments.Fig8PLP(opts)
+	case "fig9":
+		return experiments.Fig9QD(opts)
+	case "fig10":
+		return experiments.Fig10SessionLimit(opts)
+	case "fig11":
+		return experiments.Fig11TwoPercent(opts)
+	case "fig12":
+		return experiments.Fig12FivePercent(opts)
+	case "fig13":
+		return experiments.Fig13TenPercent(opts)
+	case "fig14":
+		return experiments.Fig14VoiceImpact(opts)
+	case "fig15":
+		return experiments.Fig15GPRSPopulation(opts)
+	default:
+		return nil, fmt.Errorf("unknown figure %q (use all, tables, fig5 ... fig15)", name)
+	}
+}

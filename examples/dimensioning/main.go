@@ -1,0 +1,64 @@
+// Dimensioning: the network-designer scenario of Section 5.3. For GPRS users
+// with a QoS profile tolerating at most 50% per-user throughput degradation,
+// determine up to which call arrival rate each number of reserved PDCHs keeps
+// the profile, for 2%, 5%, and 10% GPRS users — the conclusion the paper
+// draws from Figs. 11-13.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/traffic"
+)
+
+const maxDegradation = 0.5
+
+func main() {
+	rates := []float64{0.1, 0.3, 0.5, 0.7, 1.0}
+	fractions := []float64{0.02, 0.05, 0.10}
+	pdchs := []int{1, 2, 4}
+
+	for _, fraction := range fractions {
+		fmt.Printf("=== %.0f%% GPRS users (traffic model 3) ===\n", fraction*100)
+		for _, pdch := range pdchs {
+			reference := throughput(fraction, pdch, 0.01)
+			supported := 0.0
+			for _, rate := range rates {
+				atu := throughput(fraction, pdch, rate)
+				degradation := 1 - atu/reference
+				if degradation <= maxDegradation {
+					supported = rate
+				}
+			}
+			if supported > 0 {
+				fmt.Printf("  %d reserved PDCH: QoS profile holds up to %.1f calls/s\n", pdch, supported)
+			} else {
+				fmt.Printf("  %d reserved PDCH: QoS profile violated even at %.1f calls/s\n", pdch, rates[0])
+			}
+		}
+	}
+}
+
+// throughput solves the model at a scaled-down cell (so the example finishes
+// in seconds) and returns the throughput per user in bit/s.
+func throughput(gprsFraction float64, reservedPDCH int, rate float64) float64 {
+	cfg := core.BaseConfig(traffic.Model3, rate)
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	cfg.MaxSessions = 10
+	cfg.GPRSFraction = gprsFraction
+	cfg.Channels.ReservedPDCH = reservedPDCH
+
+	model, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := model.Solve(ctmc.SolveOptions{Tolerance: 1e-6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Measures.ThroughputPerUserBits
+}

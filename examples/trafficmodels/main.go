@@ -1,0 +1,53 @@
+// Traffic models: inspect the three 3GPP traffic models of Table 3 — their
+// session structure, the derived IPP (on/off) parameters, and the load each
+// one puts on a cell — and solve the Markov model once per traffic model to
+// compare the resulting performance measures side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/traffic"
+)
+
+func main() {
+	fmt.Println("3GPP traffic model parameters (Table 3):")
+	for _, model := range traffic.AllModels() {
+		spec := model.Spec()
+		ipp := spec.Session.IPP()
+		fmt.Printf("\n%s\n", spec.Name)
+		fmt.Printf("  session duration:        %.1f s\n", spec.Session.MeanSessionDurationSec())
+		fmt.Printf("  packets per session:     %.0f\n", spec.Session.PacketsPerSession())
+		fmt.Printf("  on-state bit rate:       %.1f kbit/s\n", spec.Session.MeanOnRateBitsPerSec()/1000)
+		fmt.Printf("  mean on / off time:      %.1f s / %.1f s\n", 1/ipp.Alpha, 1/ipp.Beta)
+		fmt.Printf("  long-run rate per user:  %.2f kbit/s (burstiness %.1fx)\n",
+			ipp.MeanBitRate()/1000, ipp.BurstinessRatio())
+		fmt.Printf("  session limit M:         %d\n", spec.MaxSessions)
+	}
+
+	fmt.Println("\nMarkov-model measures at 0.5 calls/s, 1 reserved PDCH (scaled-down cell):")
+	fmt.Printf("%-22s %10s %12s %10s %14s\n", "traffic model", "CDT", "PLP", "QD (s)", "ATU (bit/s)")
+	for _, model := range traffic.AllModels() {
+		cfg := core.BaseConfig(model, 0.5)
+		cfg.Channels.TotalChannels = 10
+		cfg.BufferSize = 30
+		if cfg.MaxSessions > 10 {
+			cfg.MaxSessions = 10
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Solve(ctmc.SolveOptions{Tolerance: 1e-6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas := res.Measures
+		fmt.Printf("%-22s %10.3f %12.5f %10.2f %14.0f\n",
+			fmt.Sprintf("model %d", model), meas.CarriedDataTraffic,
+			meas.PacketLossProbability, meas.QueueingDelay, meas.ThroughputPerUserBits)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cluster models the cellular layout used by the paper's detailed
+// simulator: a cluster of seven hexagonal cells (one mid cell surrounded by
+// six neighbours). Handovers move users between neighbouring cells; the
+// performance measures are collected in the mid cell (Section 5.2).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidTopology is returned for malformed cluster specifications.
+var ErrInvalidTopology = errors.New("cluster: invalid topology")
+
+// MidCell is the index of the central cell of the cluster, the cell whose
+// measurements are compared with the analytical model.
+const MidCell = 0
+
+// Topology describes a set of cells and their neighbour relations.
+type Topology struct {
+	numCells  int
+	neighbors [][]int
+}
+
+// NewHexCluster returns the seven-cell hexagonal cluster used in the paper:
+// cell 0 is the mid cell adjacent to all six outer cells; the outer cells
+// form a ring, each adjacent to the mid cell and to its two ring neighbours.
+// Users leaving an outer cell away from the cluster are wrapped around to the
+// opposite ring cell so that the cluster is closed and flows stay balanced.
+func NewHexCluster() *Topology {
+	const n = 7
+	neighbors := make([][]int, n)
+	// Mid cell borders every outer cell.
+	neighbors[MidCell] = []int{1, 2, 3, 4, 5, 6}
+	for i := 1; i <= 6; i++ {
+		left := i - 1
+		if left == 0 {
+			left = 6
+		}
+		right := i + 1
+		if right == 7 {
+			right = 1
+		}
+		opposite := i + 3
+		if opposite > 6 {
+			opposite -= 6
+		}
+		// Mid cell, two ring neighbours, and the wrap-around cell standing in
+		// for the three outward directions.
+		neighbors[i] = []int{MidCell, left, right, opposite}
+	}
+	return &Topology{numCells: n, neighbors: neighbors}
+}
+
+// NewRing returns a ring of n cells (each cell has two neighbours). It is
+// used in tests and for experiments with smaller clusters.
+func NewRing(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: ring needs at least 2 cells, got %d", ErrInvalidTopology, n)
+	}
+	neighbors := make([][]int, n)
+	for i := 0; i < n; i++ {
+		neighbors[i] = []int{(i + n - 1) % n, (i + 1) % n}
+	}
+	return &Topology{numCells: n, neighbors: neighbors}, nil
+}
+
+// NumCells returns the number of cells in the cluster.
+func (t *Topology) NumCells() int { return t.numCells }
+
+// Neighbors returns a copy of the neighbour list of a cell. It returns nil
+// for out-of-range cells.
+func (t *Topology) Neighbors(cell int) []int {
+	if cell < 0 || cell >= t.numCells {
+		return nil
+	}
+	out := make([]int, len(t.neighbors[cell]))
+	copy(out, t.neighbors[cell])
+	return out
+}
+
+// Degree returns the number of neighbours of a cell.
+func (t *Topology) Degree(cell int) int {
+	if cell < 0 || cell >= t.numCells {
+		return 0
+	}
+	return len(t.neighbors[cell])
+}
+
+// AreNeighbors reports whether two cells share a border.
+func (t *Topology) AreNeighbors(a, b int) bool {
+	if a < 0 || a >= t.numCells || b < 0 || b >= t.numCells {
+		return false
+	}
+	for _, nb := range t.neighbors[a] {
+		if nb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that the neighbour relation is symmetric and free of
+// self-loops.
+func (t *Topology) Validate() error {
+	for c := 0; c < t.numCells; c++ {
+		for _, nb := range t.neighbors[c] {
+			if nb == c {
+				return fmt.Errorf("%w: cell %d lists itself as neighbour", ErrInvalidTopology, c)
+			}
+			if nb < 0 || nb >= t.numCells {
+				return fmt.Errorf("%w: cell %d lists out-of-range neighbour %d", ErrInvalidTopology, c, nb)
+			}
+			if !t.AreNeighbors(nb, c) {
+				return fmt.Errorf("%w: neighbour relation %d -> %d is not symmetric", ErrInvalidTopology, c, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// HandoverTarget returns the cell a user in the given cell hands over to,
+// selected by the provided picker function (typically a uniform random index
+// in [0, Degree(cell))). It returns -1 for out-of-range cells.
+func (t *Topology) HandoverTarget(cell int, pick func(n int) int) int {
+	if cell < 0 || cell >= t.numCells || len(t.neighbors[cell]) == 0 {
+		return -1
+	}
+	idx := pick(len(t.neighbors[cell]))
+	if idx < 0 || idx >= len(t.neighbors[cell]) {
+		idx = 0
+	}
+	return t.neighbors[cell][idx]
+}

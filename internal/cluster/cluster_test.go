@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHexClusterShape(t *testing.T) {
+	topo := NewHexCluster()
+	if topo.NumCells() != 7 {
+		t.Fatalf("NumCells = %d, want 7", topo.NumCells())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("hex cluster invalid: %v", err)
+	}
+	if topo.Degree(MidCell) != 6 {
+		t.Errorf("mid cell degree = %d, want 6", topo.Degree(MidCell))
+	}
+	for c := 1; c <= 6; c++ {
+		if !topo.AreNeighbors(MidCell, c) {
+			t.Errorf("mid cell should border cell %d", c)
+		}
+		if topo.Degree(c) != 4 {
+			t.Errorf("outer cell %d degree = %d, want 4", c, topo.Degree(c))
+		}
+	}
+	// Ring adjacency of the outer cells.
+	if !topo.AreNeighbors(1, 2) || !topo.AreNeighbors(6, 1) {
+		t.Error("outer ring adjacency broken")
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	topo, err := NewRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("ring invalid: %v", err)
+	}
+	for c := 0; c < 5; c++ {
+		if topo.Degree(c) != 2 {
+			t.Errorf("cell %d degree = %d, want 2", c, topo.Degree(c))
+		}
+	}
+	if !topo.AreNeighbors(0, 4) || !topo.AreNeighbors(0, 1) {
+		t.Error("ring wrap-around missing")
+	}
+	if topo.AreNeighbors(0, 2) {
+		t.Error("non-adjacent ring cells reported as neighbours")
+	}
+	if _, err := NewRing(1); err == nil {
+		t.Error("ring of one cell should be rejected")
+	}
+}
+
+func TestNeighborsReturnsCopy(t *testing.T) {
+	topo := NewHexCluster()
+	nb := topo.Neighbors(MidCell)
+	nb[0] = 99
+	if topo.Neighbors(MidCell)[0] == 99 {
+		t.Error("Neighbors must return a copy")
+	}
+	if topo.Neighbors(-1) != nil || topo.Neighbors(7) != nil {
+		t.Error("out-of-range cells should return nil")
+	}
+	if topo.Degree(-1) != 0 || topo.Degree(99) != 0 {
+		t.Error("out-of-range degree should be 0")
+	}
+	if topo.AreNeighbors(-1, 0) || topo.AreNeighbors(0, 99) {
+		t.Error("out-of-range AreNeighbors should be false")
+	}
+}
+
+func TestHandoverTarget(t *testing.T) {
+	topo := NewHexCluster()
+	// Deterministic picker selecting the i-th neighbour.
+	for i := 0; i < topo.Degree(MidCell); i++ {
+		i := i
+		target := topo.HandoverTarget(MidCell, func(n int) int { return i })
+		if !topo.AreNeighbors(MidCell, target) {
+			t.Errorf("handover target %d is not a neighbour", target)
+		}
+	}
+	// Out-of-range picker results are clamped.
+	if target := topo.HandoverTarget(MidCell, func(n int) int { return 99 }); !topo.AreNeighbors(MidCell, target) {
+		t.Errorf("clamped target %d not a neighbour", target)
+	}
+	if topo.HandoverTarget(-1, func(n int) int { return 0 }) != -1 {
+		t.Error("invalid cell should return -1")
+	}
+}
+
+// Property: every handover target returned for a valid picker is a neighbour
+// of the source cell, for both topologies.
+func TestHandoverTargetProperty(t *testing.T) {
+	hex := NewHexCluster()
+	ring, err := NewRing(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(cellSeed, pickSeed uint8) bool {
+		for _, topo := range []*Topology{hex, ring} {
+			cell := int(cellSeed) % topo.NumCells()
+			pick := int(pickSeed)
+			target := topo.HandoverTarget(cell, func(n int) int { return pick % n })
+			if target < 0 || !topo.AreNeighbors(cell, target) || target == cell {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

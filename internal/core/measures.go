@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/traffic"
+)
+
+// Measures holds the performance measures of Section 4.2 of the paper.
+type Measures struct {
+	// CarriedDataTraffic (CDT, Eq. 8) is the average number of PDCHs in use
+	// for data transfer.
+	CarriedDataTraffic float64
+	// ThroughputPackets is the overall data throughput CDT * mu_service in
+	// packets per second.
+	ThroughputPackets float64
+	// ThroughputBits is the overall data throughput in bits per second.
+	ThroughputBits float64
+	// OfferedPacketRate is the average packet arrival rate lambda_avg,
+	// including packets lost at a full buffer.
+	OfferedPacketRate float64
+	// PacketLossProbability (PLP, Eq. 9) is the probability that an arriving
+	// packet finds the BSC buffer full.
+	PacketLossProbability float64
+	// MeanQueueLength is the average number of packets in the BSC buffer.
+	MeanQueueLength float64
+	// QueueingDelay (QD, Eq. 10) is the mean waiting time of a packet in the
+	// BSC buffer in seconds.
+	QueueingDelay float64
+	// AverageSessions (AGS, Eq. 7) is the average number of active GPRS
+	// sessions in the cell.
+	AverageSessions float64
+	// ThroughputPerUserBits (ATU, Eq. 11) is the average throughput per GPRS
+	// user in bits per second.
+	ThroughputPerUserBits float64
+	// CarriedVoiceTraffic (CVT, Eq. 6) is the average number of channels
+	// occupied by GSM voice calls.
+	CarriedVoiceTraffic float64
+	// GSMBlockingProbability is the Erlang blocking probability of GSM voice
+	// calls, p_{GSM, N_GSM}.
+	GSMBlockingProbability float64
+	// GPRSBlockingProbability is the blocking probability of GPRS session
+	// requests, p_{GPRS, M}.
+	GPRSBlockingProbability float64
+	// GSMHandoverRate is the balanced incoming GSM handover rate (Eq. 4).
+	GSMHandoverRate float64
+	// GPRSHandoverRate is the balanced incoming GPRS handover rate (Eq. 5).
+	GPRSHandoverRate float64
+}
+
+// MeasuresFrom derives all performance measures from a steady-state vector
+// over the model's state space.
+func (m *Model) MeasuresFrom(pi []float64) (Measures, error) {
+	if len(pi) != m.space.NumStates() {
+		return Measures{}, fmt.Errorf("%w: steady-state vector has %d entries, want %d",
+			ErrInvalidConfig, len(pi), m.space.NumStates())
+	}
+
+	var (
+		cdt      float64 // average PDCHs in use
+		offered  float64 // average offered packet arrival rate
+		queueLen float64 // mean queue length
+	)
+	for idx, p := range pi {
+		if p == 0 {
+			continue
+		}
+		s := m.space.State(idx)
+		cdt += p * float64(m.UsablePDCH(s))
+		offered += p * m.OfferedPacketRate(s)
+		queueLen += p * float64(s.Packets)
+	}
+
+	throughputPackets := cdt * m.rates.PacketServiceRate
+
+	var plp float64
+	if offered > 0 {
+		plp = 1 - throughputPackets/offered
+		if plp < 0 {
+			plp = 0
+		}
+		if plp > 1 {
+			plp = 1
+		}
+	}
+
+	var qd float64
+	if throughputPackets > 0 {
+		qd = queueLen / throughputPackets
+	}
+
+	// Voice-side and session-count measures follow from the M/M/c/c closed
+	// forms with the balanced handover flows (Eqs. 2-7).
+	gsmMean, err := m.gsmBalance.System.MeanBusyServers()
+	if err != nil {
+		return Measures{}, fmt.Errorf("GSM marginal: %w", err)
+	}
+	gsmBlock, err := m.gsmBalance.System.BlockingProbability()
+	if err != nil {
+		return Measures{}, fmt.Errorf("GSM blocking: %w", err)
+	}
+	gprsMean, err := m.gprsBalance.System.MeanBusyServers()
+	if err != nil {
+		return Measures{}, fmt.Errorf("GPRS marginal: %w", err)
+	}
+	gprsBlock, err := m.gprsBalance.System.BlockingProbability()
+	if err != nil {
+		return Measures{}, fmt.Errorf("GPRS blocking: %w", err)
+	}
+
+	var atu float64
+	if gprsMean > 0 {
+		atu = throughputPackets * float64(traffic.PacketSizeBits) / gprsMean
+	}
+
+	return Measures{
+		CarriedDataTraffic:      cdt,
+		ThroughputPackets:       throughputPackets,
+		ThroughputBits:          throughputPackets * float64(traffic.PacketSizeBits),
+		OfferedPacketRate:       offered,
+		PacketLossProbability:   plp,
+		MeanQueueLength:         queueLen,
+		QueueingDelay:           qd,
+		AverageSessions:         gprsMean,
+		ThroughputPerUserBits:   atu,
+		CarriedVoiceTraffic:     gsmMean,
+		GSMBlockingProbability:  gsmBlock,
+		GPRSBlockingProbability: gprsBlock,
+		GSMHandoverRate:         m.gsmBalance.HandoverRate,
+		GPRSHandoverRate:        m.gprsBalance.HandoverRate,
+	}, nil
+}
+
+// MarginalGSM returns the marginal distribution of the number of active GSM
+// calls computed from a steady-state vector; it should coincide with the
+// Erlang closed form (Eq. 2) and is used for validation.
+func (m *Model) MarginalGSM(pi []float64) []float64 {
+	dist := make([]float64, m.space.GSMChannels()+1)
+	for idx, p := range pi {
+		if p == 0 {
+			continue
+		}
+		dist[m.space.State(idx).GSMCalls] += p
+	}
+	return dist
+}
+
+// MarginalSessions returns the marginal distribution of the number of active
+// GPRS sessions computed from a steady-state vector; it should coincide with
+// the Erlang closed form (Eq. 3).
+func (m *Model) MarginalSessions(pi []float64) []float64 {
+	dist := make([]float64, m.space.MaxSessions()+1)
+	for idx, p := range pi {
+		if p == 0 {
+			continue
+		}
+		dist[m.space.State(idx).Sessions] += p
+	}
+	return dist
+}
+
+// MarginalQueue returns the marginal distribution of the BSC buffer
+// occupancy.
+func (m *Model) MarginalQueue(pi []float64) []float64 {
+	dist := make([]float64, m.space.BufferSize()+1)
+	for idx, p := range pi {
+		if p == 0 {
+			continue
+		}
+		dist[m.space.State(idx).Packets] += p
+	}
+	return dist
+}
+
+// ValidateDistribution checks that a vector is a probability distribution
+// over the state space (non-negative, sums to 1 within tolerance).
+func (m *Model) ValidateDistribution(pi []float64, tol float64) error {
+	if len(pi) != m.space.NumStates() {
+		return fmt.Errorf("%w: length %d, want %d", ErrInvalidConfig, len(pi), m.space.NumStates())
+	}
+	var sum float64
+	for i, p := range pi {
+		if p < -tol || math.IsNaN(p) {
+			return fmt.Errorf("%w: probability %v at state %d", ErrInvalidConfig, p, i)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("%w: probability mass %v", ErrInvalidConfig, sum)
+	}
+	return nil
+}

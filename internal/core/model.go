@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/erlang"
+)
+
+// Model is the GPRS Markov model of one cell, ready to be solved. A Model is
+// immutable after construction and safe for concurrent use by multiple
+// goroutines (Solve does not mutate it).
+type Model struct {
+	cfg   Config
+	rates Rates
+	space StateSpace
+
+	// Balanced handover flows (Eqs. 4-5).
+	gsmBalance  erlang.HandoverBalance
+	gprsBalance erlang.HandoverBalance
+
+	// Effective arrival and departure rates including handover traffic.
+	gsmArrival    float64 // lambda_GSM + lambda_h,GSM
+	gsmDeparture  float64 // mu_GSM + mu_h,GSM (per call)
+	gprsArrival   float64 // lambda_GPRS + lambda_h,GPRS
+	gprsDeparture float64 // mu_GPRS + mu_h,GPRS (per session)
+
+	// Threshold eta*K above which the packet arrival rate is limited to the
+	// service rate (TCP flow-control approximation).
+	flowControlLimit float64
+}
+
+// New validates the configuration, balances the handover flows and returns a
+// model ready for steady-state solution.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rates := cfg.DeriveRates()
+
+	tol := cfg.HandoverTolerance
+	maxIter := cfg.HandoverMaxIterations
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+
+	gsmBalance, err := erlang.BalanceHandover(
+		rates.NewGSMCallRate, rates.GSMServiceRate, rates.GSMHandoverRate,
+		cfg.Channels.GSMChannels(), tol, maxIter)
+	if err != nil {
+		return nil, fmt.Errorf("balance GSM handover flow: %w", err)
+	}
+	gprsBalance, err := erlang.BalanceHandover(
+		rates.NewGPRSSessionRate, rates.GPRSServiceRate, rates.GPRSHandoverRate,
+		cfg.MaxSessions, tol, maxIter)
+	if err != nil {
+		return nil, fmt.Errorf("balance GPRS handover flow: %w", err)
+	}
+
+	m := &Model{
+		cfg:              cfg,
+		rates:            rates,
+		space:            NewStateSpace(cfg.Channels.GSMChannels(), cfg.BufferSize, cfg.MaxSessions),
+		gsmBalance:       gsmBalance,
+		gprsBalance:      gprsBalance,
+		gsmArrival:       rates.NewGSMCallRate + gsmBalance.HandoverRate,
+		gsmDeparture:     rates.GSMServiceRate + rates.GSMHandoverRate,
+		gprsArrival:      rates.NewGPRSSessionRate + gprsBalance.HandoverRate,
+		gprsDeparture:    rates.GPRSServiceRate + rates.GPRSHandoverRate,
+		flowControlLimit: cfg.FlowControlThreshold * float64(cfg.BufferSize),
+	}
+	return m, nil
+}
+
+// Config returns the configuration the model was built from.
+func (m *Model) Config() Config { return m.cfg }
+
+// Rates returns the primitive rates derived from the configuration.
+func (m *Model) Rates() Rates { return m.rates }
+
+// StateSpace returns the aggregated state space of the model.
+func (m *Model) StateSpace() StateSpace { return m.space }
+
+// GSMHandover returns the balanced GSM handover flow (Eq. 4).
+func (m *Model) GSMHandover() erlang.HandoverBalance { return m.gsmBalance }
+
+// GPRSHandover returns the balanced GPRS handover flow (Eq. 5).
+func (m *Model) GPRSHandover() erlang.HandoverBalance { return m.gprsBalance }
+
+// UsablePDCH returns the number of PDCHs usable for data transfer in the
+// given state, min(N - n, 8k).
+func (m *Model) UsablePDCH(s State) int {
+	return m.cfg.Channels.UsablePDCH(s.GSMCalls, s.Packets)
+}
+
+// OfferedPacketRate returns the packet arrival rate offered to the BSC buffer
+// in the given state, including arrivals that will be lost because the buffer
+// is full. Below the flow-control threshold the rate is (m-r)*lambda_packet;
+// above it the TCP approximation limits the rate to the current service rate
+// (Table 1 of the paper).
+func (m *Model) OfferedPacketRate(s State) float64 {
+	onSessions := s.Sessions - s.OffSessions
+	if onSessions <= 0 {
+		return 0
+	}
+	rate := float64(onSessions) * m.rates.IPP.Lambda
+	if float64(s.Packets) <= m.flowControlLimit {
+		return rate
+	}
+	serviceRate := float64(m.UsablePDCH(s)) * m.rates.PacketServiceRate
+	if serviceRate < rate {
+		return serviceRate
+	}
+	return rate
+}
+
+// ServiceRate returns the aggregate packet service rate of the given state,
+// min(N-n, 8k) * mu_service.
+func (m *Model) ServiceRate(s State) float64 {
+	return float64(m.UsablePDCH(s)) * m.rates.PacketServiceRate
+}
+
+// Transitions returns the transition enumeration function of the model
+// (Table 1 of the paper), suitable for ctmc.NewGenerator. It is exported so
+// tests can inspect individual transition rates.
+func (m *Model) Transitions() ctmc.TransitionFunc {
+	var (
+		space   = m.space
+		nGSM    = space.GSMChannels()
+		maxK    = space.BufferSize()
+		maxM    = space.MaxSessions()
+		ipp     = m.rates.IPP
+		pOn     = ipp.OnProbability()
+		pOff    = ipp.OffProbability()
+		gsmArr  = m.gsmArrival
+		gsmDep  = m.gsmDeparture
+		gprsArr = m.gprsArrival
+		gprsDep = m.gprsDeparture
+	)
+	return func(index int, emit func(to int, rate float64)) {
+		s := space.State(index)
+		n, k, mm, r := s.GSMCalls, s.Packets, s.Sessions, s.OffSessions
+
+		// (i) Incoming GSM calls and handovers: admitted while on-demand
+		// channels remain.
+		if n < nGSM && gsmArr > 0 {
+			emit(space.Index(State{n + 1, k, mm, r}), gsmArr)
+		}
+
+		// (ii) Incoming GPRS sessions and handovers: admitted below the
+		// session limit M; the new session starts in IPP steady state.
+		if mm < maxM && gprsArr > 0 {
+			emit(space.Index(State{n, k, mm + 1, r}), pOn*gprsArr)
+			emit(space.Index(State{n, k, mm + 1, r + 1}), pOff*gprsArr)
+		}
+
+		// (iii) GSM calls leaving the cell (completion or outgoing handover).
+		if n > 0 {
+			emit(space.Index(State{n - 1, k, mm, r}), float64(n)*gsmDep)
+		}
+
+		// (iv) GPRS sessions leaving the cell. The leaving session is in the
+		// off state with probability r/m and in the on state otherwise.
+		if mm > 0 {
+			total := float64(mm) * gprsDep
+			switch {
+			case r == 0:
+				emit(space.Index(State{n, k, mm - 1, 0}), total)
+			case r == mm:
+				emit(space.Index(State{n, k, mm - 1, r - 1}), total)
+			default:
+				frac := float64(r) / float64(mm)
+				emit(space.Index(State{n, k, mm - 1, r - 1}), frac*total)
+				emit(space.Index(State{n, k, mm - 1, r}), (1-frac)*total)
+			}
+		}
+
+		// (v) Data packet arrivals (only while the buffer is not full; the
+		// offered rate in full-buffer states contributes to the loss
+		// probability but causes no state change).
+		if k < maxK {
+			if rate := m.OfferedPacketRate(s); rate > 0 {
+				emit(space.Index(State{n, k + 1, mm, r}), rate)
+			}
+		}
+
+		// (vi) Data packet service over min(N-n, 8k) PDCHs.
+		if k > 0 {
+			if rate := m.ServiceRate(s); rate > 0 {
+				emit(space.Index(State{n, k - 1, mm, r}), rate)
+			}
+		}
+
+		// (vii) MMPP phase changes of the aggregated arrival process.
+		if r < mm {
+			emit(space.Index(State{n, k, mm, r + 1}), float64(mm-r)*ipp.Alpha)
+		}
+		if r > 0 {
+			emit(space.Index(State{n, k, mm, r - 1}), float64(r)*ipp.Beta)
+		}
+	}
+}
+
+// BuildGenerator constructs the sparse infinitesimal generator of the model.
+func (m *Model) BuildGenerator() (*ctmc.Generator, error) {
+	return ctmc.NewGenerator(m.space.NumStates(), m.Transitions())
+}
+
+// Result bundles the steady-state solution of the model with the derived
+// performance measures.
+type Result struct {
+	// Measures holds the performance measures of Section 4.2.
+	Measures Measures
+	// Pi is the steady-state probability vector over the aggregated state
+	// space (indexed via the model's StateSpace).
+	Pi []float64
+	// Solver reports diagnostics of the numerical solution.
+	Solver SolverInfo
+}
+
+// SolverInfo records diagnostics of the steady-state computation.
+type SolverInfo struct {
+	Method      ctmc.Method
+	Iterations  int
+	Residual    float64
+	Converged   bool
+	NumStates   int
+	Transitions int64
+}
+
+// Solve builds the generator matrix, computes the steady-state distribution
+// with the given solver options (zero value: Gauss–Seidel with defaults) and
+// derives all performance measures.
+func (m *Model) Solve(opts ctmc.SolveOptions) (*Result, error) {
+	gen, err := m.BuildGenerator()
+	if err != nil {
+		return nil, fmt.Errorf("build generator: %w", err)
+	}
+	if opts.Initial == nil {
+		opts.Initial = m.initialGuess()
+	}
+	sol, err := gen.SteadyState(opts)
+	if err != nil {
+		return nil, fmt.Errorf("steady state: %w", err)
+	}
+	measures, err := m.MeasuresFrom(sol.Pi)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Measures: measures,
+		Pi:       sol.Pi,
+		Solver: SolverInfo{
+			Method:      sol.Method,
+			Iterations:  sol.Iterations,
+			Residual:    sol.Residual,
+			Converged:   sol.Converged,
+			NumStates:   gen.NumStates(),
+			Transitions: gen.NumTransitions(),
+		},
+	}, nil
+}
+
+// initialGuess seeds the solver with the product of the known closed-form
+// marginals (GSM Erlang distribution, GPRS Erlang distribution, binomial MMPP
+// phase distribution) and an empty buffer. Starting close to the solution
+// reduces the number of sweeps substantially on large state spaces.
+func (m *Model) initialGuess() []float64 {
+	guess := make([]float64, m.space.NumStates())
+	gsmDist, errGSM := m.gsmBalance.System.Distribution()
+	gprsDist, errGPRS := m.gprsBalance.System.Distribution()
+	if errGSM != nil || errGPRS != nil {
+		for i := range guess {
+			guess[i] = 1
+		}
+		return guess
+	}
+	pOff := m.rates.IPP.OffProbability()
+	for n := 0; n <= m.space.GSMChannels(); n++ {
+		for mm := 0; mm <= m.space.MaxSessions(); mm++ {
+			phase := binomialPMF(mm, pOff)
+			for r := 0; r <= mm; r++ {
+				idx := m.space.Index(State{GSMCalls: n, Packets: 0, Sessions: mm, OffSessions: r})
+				guess[idx] = gsmDist[n] * gprsDist[mm] * phase[r]
+			}
+		}
+	}
+	// Give non-empty buffer states a small uniform mass so no reachable state
+	// starts at exactly zero.
+	eps := 1e-6 / float64(len(guess))
+	for i := range guess {
+		guess[i] += eps
+	}
+	return guess
+}
+
+// binomialPMF returns the probabilities of 0..n successes with success
+// probability p.
+func binomialPMF(n int, p float64) []float64 {
+	pmf := make([]float64, n+1)
+	pmf[0] = 1
+	for i := 0; i < n; i++ {
+		// Multiply the distribution by one more Bernoulli trial.
+		next := make([]float64, n+1)
+		for k := 0; k <= i; k++ {
+			next[k] += pmf[k] * (1 - p)
+			next[k+1] += pmf[k] * p
+		}
+		copy(pmf, next)
+	}
+	return pmf
+}

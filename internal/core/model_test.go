@@ -1,0 +1,403 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/traffic"
+)
+
+// smallConfig returns a configuration with a deliberately small state space
+// (a few hundred states) that still exercises every transition type.
+func smallConfig() Config {
+	cfg := BaseConfig(traffic.Model3, 0.5)
+	cfg.Channels.TotalChannels = 5
+	cfg.Channels.ReservedPDCH = 1
+	cfg.BufferSize = 8
+	cfg.MaxSessions = 3
+	cfg.GPRSFraction = 0.2
+	return cfg
+}
+
+func solveSmall(t *testing.T, cfg Config) (*Model, *Result) {
+	t.Helper()
+	model, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.Solve(ctmc.SolveOptions{Tolerance: 1e-12, MaxIterations: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solver.Converged {
+		t.Fatalf("solver did not converge: %+v", res.Solver)
+	}
+	return model, res
+}
+
+func TestModelSolveSmallConfig(t *testing.T) {
+	model, res := solveSmall(t, smallConfig())
+	if err := model.ValidateDistribution(res.Pi, 1e-9); err != nil {
+		t.Fatalf("invalid steady-state vector: %v", err)
+	}
+	meas := res.Measures
+
+	if meas.CarriedDataTraffic < 0 || meas.CarriedDataTraffic > float64(model.Config().Channels.TotalChannels) {
+		t.Errorf("CDT = %v out of range", meas.CarriedDataTraffic)
+	}
+	if meas.PacketLossProbability < 0 || meas.PacketLossProbability > 1 {
+		t.Errorf("PLP = %v out of range", meas.PacketLossProbability)
+	}
+	if meas.QueueingDelay < 0 {
+		t.Errorf("QD = %v negative", meas.QueueingDelay)
+	}
+	if meas.MeanQueueLength < 0 || meas.MeanQueueLength > float64(model.Config().BufferSize) {
+		t.Errorf("MQL = %v out of range", meas.MeanQueueLength)
+	}
+	if meas.AverageSessions <= 0 || meas.AverageSessions > float64(model.Config().MaxSessions) {
+		t.Errorf("AGS = %v out of range", meas.AverageSessions)
+	}
+	if meas.CarriedVoiceTraffic <= 0 || meas.CarriedVoiceTraffic > float64(model.Config().Channels.GSMChannels()) {
+		t.Errorf("CVT = %v out of range", meas.CarriedVoiceTraffic)
+	}
+	if meas.GSMBlockingProbability < 0 || meas.GSMBlockingProbability > 1 {
+		t.Errorf("GSM blocking = %v", meas.GSMBlockingProbability)
+	}
+	if meas.GPRSBlockingProbability < 0 || meas.GPRSBlockingProbability > 1 {
+		t.Errorf("GPRS blocking = %v", meas.GPRSBlockingProbability)
+	}
+	if meas.ThroughputPackets < 0 || meas.ThroughputPerUserBits < 0 {
+		t.Error("negative throughput")
+	}
+	// Throughput cannot exceed the offered load.
+	if meas.ThroughputPackets > meas.OfferedPacketRate*(1+1e-9) {
+		t.Errorf("throughput %v exceeds offered rate %v", meas.ThroughputPackets, meas.OfferedPacketRate)
+	}
+}
+
+func TestGSMMarginalMatchesErlang(t *testing.T) {
+	// GSM voice calls have priority over GPRS and are unaffected by the data
+	// traffic, so the marginal distribution of n must coincide with the
+	// M/M/c/c closed form (Eq. 2).
+	model, res := solveSmall(t, smallConfig())
+	want, err := model.GSMHandover().System.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := model.MarginalGSM(res.Pi)
+	for n := range want {
+		if math.Abs(got[n]-want[n]) > 1e-6 {
+			t.Errorf("GSM marginal p[%d] = %v, want %v", n, got[n], want[n])
+		}
+	}
+}
+
+func TestSessionMarginalMatchesErlang(t *testing.T) {
+	// The number of active GPRS sessions evolves independently of the buffer
+	// and of GSM voice, so its marginal must match the M/M/M/M closed form
+	// (Eq. 3).
+	model, res := solveSmall(t, smallConfig())
+	want, err := model.GPRSHandover().System.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := model.MarginalSessions(res.Pi)
+	for mm := range want {
+		if math.Abs(got[mm]-want[mm]) > 1e-6 {
+			t.Errorf("session marginal p[%d] = %v, want %v", mm, got[mm], want[mm])
+		}
+	}
+	// The AGS measure (closed form) must agree with the marginal mean.
+	var mean float64
+	for mm, p := range got {
+		mean += float64(mm) * p
+	}
+	if math.Abs(mean-res.Measures.AverageSessions) > 1e-6 {
+		t.Errorf("AGS closed form %v vs marginal mean %v", res.Measures.AverageSessions, mean)
+	}
+}
+
+func TestQueueMarginalSumsToOne(t *testing.T) {
+	model, res := solveSmall(t, smallConfig())
+	dist := model.MarginalQueue(res.Pi)
+	var sum float64
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("queue marginal sums to %v", sum)
+	}
+}
+
+func TestNoGPRSTrafficMeansNoDataMeasures(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GPRSFraction = 0
+	model, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.Solve(ctmc.SolveOptions{Tolerance: 1e-12, MaxIterations: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Measures
+	if m.CarriedDataTraffic > 1e-9 {
+		t.Errorf("CDT = %v with no GPRS users", m.CarriedDataTraffic)
+	}
+	if m.OfferedPacketRate > 1e-9 || m.ThroughputPackets > 1e-9 {
+		t.Errorf("data traffic measures should vanish, got offered=%v throughput=%v",
+			m.OfferedPacketRate, m.ThroughputPackets)
+	}
+	if m.AverageSessions > 1e-12 || m.GPRSHandoverRate > 1e-12 {
+		t.Errorf("no sessions expected, got AGS=%v handover=%v", m.AverageSessions, m.GPRSHandoverRate)
+	}
+	if m.CarriedVoiceTraffic <= 0 {
+		t.Error("voice traffic should still be carried")
+	}
+}
+
+func TestFlowControlReducesLoss(t *testing.T) {
+	// Heavier traffic on a tiny buffer: with flow control (eta = 0.7) the
+	// loss probability must not exceed the one without flow control
+	// (eta = 1.0), mirroring Fig. 5.
+	base := smallConfig()
+	base.TotalCallRate = 2.0
+	base.GPRSFraction = 0.5
+	base.BufferSize = 6
+
+	withFC := base
+	withFC.FlowControlThreshold = 0.7
+	_, resFC := solveSmall(t, withFC)
+
+	withoutFC := base
+	withoutFC.FlowControlThreshold = 1.0
+	_, resNoFC := solveSmall(t, withoutFC)
+
+	if resFC.Measures.PacketLossProbability > resNoFC.Measures.PacketLossProbability+1e-9 {
+		t.Errorf("flow control increased loss: %v vs %v",
+			resFC.Measures.PacketLossProbability, resNoFC.Measures.PacketLossProbability)
+	}
+	if resNoFC.Measures.PacketLossProbability <= 0 {
+		t.Error("expected positive loss probability without flow control under heavy load")
+	}
+}
+
+func TestMoreReservedPDCHsReduceDelay(t *testing.T) {
+	// Reserving more PDCHs decreases the queueing delay (Fig. 9).
+	base := smallConfig()
+	base.TotalCallRate = 1.5
+	base.GPRSFraction = 0.4
+
+	one := base
+	one.Channels.ReservedPDCH = 1
+	_, resOne := solveSmall(t, one)
+
+	three := base
+	three.Channels.ReservedPDCH = 3
+	_, resThree := solveSmall(t, three)
+
+	if resThree.Measures.QueueingDelay > resOne.Measures.QueueingDelay+1e-9 {
+		t.Errorf("more reserved PDCHs should not increase delay: %v vs %v",
+			resThree.Measures.QueueingDelay, resOne.Measures.QueueingDelay)
+	}
+	if resThree.Measures.PacketLossProbability > resOne.Measures.PacketLossProbability+1e-9 {
+		t.Errorf("more reserved PDCHs should not increase loss: %v vs %v",
+			resThree.Measures.PacketLossProbability, resOne.Measures.PacketLossProbability)
+	}
+}
+
+func TestTransitionRatesMatchTable1(t *testing.T) {
+	cfg := smallConfig()
+	model, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := model.StateSpace()
+	rates := model.Rates()
+	tf := model.Transitions()
+
+	collect := func(s State) map[State]float64 {
+		out := make(map[State]float64)
+		tf(sp.Index(s), func(to int, rate float64) {
+			out[sp.State(to)] += rate
+		})
+		return out
+	}
+
+	// From the empty state, only arrivals can happen.
+	empty := State{}
+	out := collect(empty)
+	gsmArr := rates.NewGSMCallRate + model.GSMHandover().HandoverRate
+	gprsArr := rates.NewGPRSSessionRate + model.GPRSHandover().HandoverRate
+	pOn := rates.IPP.OnProbability()
+	if got := out[State{GSMCalls: 1}]; math.Abs(got-gsmArr) > 1e-12 {
+		t.Errorf("GSM arrival rate = %v, want %v", got, gsmArr)
+	}
+	if got := out[State{Sessions: 1}]; math.Abs(got-pOn*gprsArr) > 1e-12 {
+		t.Errorf("GPRS arrival (on) = %v, want %v", got, pOn*gprsArr)
+	}
+	if got := out[State{Sessions: 1, OffSessions: 1}]; math.Abs(got-(1-pOn)*gprsArr) > 1e-12 {
+		t.Errorf("GPRS arrival (off) = %v, want %v", got, (1-pOn)*gprsArr)
+	}
+	if len(out) != 3 {
+		t.Errorf("empty state should have exactly 3 outgoing transitions, got %d: %v", len(out), out)
+	}
+
+	// A state with full GSM occupancy cannot admit another GSM call.
+	full := State{GSMCalls: sp.GSMChannels()}
+	if _, ok := collect(full)[State{GSMCalls: sp.GSMChannels() + 1}]; ok {
+		t.Error("GSM call admitted beyond N_GSM")
+	}
+
+	// Packet service uses min(N-n, 8k) PDCHs.
+	s := State{GSMCalls: 2, Packets: 1, Sessions: 2, OffSessions: 1}
+	out = collect(s)
+	wantService := float64(model.UsablePDCH(s)) * rates.PacketServiceRate
+	if got := out[State{GSMCalls: 2, Packets: 0, Sessions: 2, OffSessions: 1}]; math.Abs(got-wantService) > 1e-12 {
+		t.Errorf("service rate = %v, want %v", got, wantService)
+	}
+	// Packet arrivals occur at (m-r) * lambda_packet below the threshold.
+	wantArrival := float64(s.Sessions-s.OffSessions) * rates.IPP.Lambda
+	if got := out[State{GSMCalls: 2, Packets: 2, Sessions: 2, OffSessions: 1}]; math.Abs(got-wantArrival) > 1e-12 {
+		t.Errorf("packet arrival rate = %v, want %v", got, wantArrival)
+	}
+	// MMPP phase changes.
+	if got := out[State{GSMCalls: 2, Packets: 1, Sessions: 2, OffSessions: 2}]; math.Abs(got-float64(1)*rates.IPP.Alpha) > 1e-12 {
+		t.Errorf("on->off rate = %v, want %v", got, rates.IPP.Alpha)
+	}
+	if got := out[State{GSMCalls: 2, Packets: 1, Sessions: 2, OffSessions: 0}]; math.Abs(got-float64(1)*rates.IPP.Beta) > 1e-12 {
+		t.Errorf("off->on rate = %v, want %v", got, rates.IPP.Beta)
+	}
+
+	// GPRS departure from a mixed state splits r/m vs (m-r)/m.
+	dep := State{Sessions: 2, OffSessions: 1}
+	out = collect(dep)
+	gprsDep := rates.GPRSServiceRate + rates.GPRSHandoverRate
+	wantOffLeave := 0.5 * 2 * gprsDep
+	if got := out[State{Sessions: 1, OffSessions: 0}]; math.Abs(got-wantOffLeave) > 1e-12 {
+		t.Errorf("departure (off leaves) = %v, want %v", got, wantOffLeave)
+	}
+	if got := out[State{Sessions: 1, OffSessions: 1}]; math.Abs(got-wantOffLeave) > 1e-12 {
+		t.Errorf("departure (on leaves) = %v, want %v", got, wantOffLeave)
+	}
+}
+
+func TestOfferedRateAboveThresholdIsLimited(t *testing.T) {
+	cfg := smallConfig()
+	cfg.FlowControlThreshold = 0.5
+	model, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := model.Rates()
+	// Above the threshold (k > 0.5*8 = 4) the offered rate is capped at the
+	// service rate of the state.
+	s := State{GSMCalls: 4, Packets: 7, Sessions: 3, OffSessions: 0}
+	capRate := model.ServiceRate(s)
+	uncapped := 3 * rates.IPP.Lambda
+	want := math.Min(capRate, uncapped)
+	if got := model.OfferedPacketRate(s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("offered rate above threshold = %v, want %v", got, want)
+	}
+	// Below the threshold the full MMPP rate is offered.
+	s = State{GSMCalls: 4, Packets: 2, Sessions: 3, OffSessions: 0}
+	if got := model.OfferedPacketRate(s); math.Abs(got-uncapped) > 1e-12 {
+		t.Errorf("offered rate below threshold = %v, want %v", got, uncapped)
+	}
+	// All sessions off: no arrivals.
+	s = State{Sessions: 2, OffSessions: 2}
+	if model.OfferedPacketRate(s) != 0 {
+		t.Error("offered rate should be zero when all sessions are off")
+	}
+}
+
+func TestSolverMethodsAgreeOnMeasures(t *testing.T) {
+	cfg := smallConfig()
+	model, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reference *Result
+	for _, method := range []ctmc.Method{ctmc.GaussSeidel, ctmc.Jacobi, ctmc.Power} {
+		res, err := model.Solve(ctmc.SolveOptions{Method: method, Tolerance: 1e-12, MaxIterations: 200000})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if reference == nil {
+			reference = res
+			continue
+		}
+		if math.Abs(res.Measures.CarriedDataTraffic-reference.Measures.CarriedDataTraffic) > 1e-5 {
+			t.Errorf("%v: CDT %v differs from reference %v", method,
+				res.Measures.CarriedDataTraffic, reference.Measures.CarriedDataTraffic)
+		}
+		if math.Abs(res.Measures.PacketLossProbability-reference.Measures.PacketLossProbability) > 1e-5 {
+			t.Errorf("%v: PLP %v differs from reference %v", method,
+				res.Measures.PacketLossProbability, reference.Measures.PacketLossProbability)
+		}
+	}
+}
+
+func TestGeneratorResidualSmall(t *testing.T) {
+	model, res := solveSmall(t, smallConfig())
+	gen, err := model.BuildGenerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumStates() != model.StateSpace().NumStates() {
+		t.Errorf("generator states %d != space %d", gen.NumStates(), model.StateSpace().NumStates())
+	}
+	resid, err := gen.Residual(res.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid > 1e-8 {
+		t.Errorf("residual = %v", resid)
+	}
+}
+
+func TestMeasuresFromRejectsWrongLength(t *testing.T) {
+	model, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.MeasuresFrom([]float64{1}); err == nil {
+		t.Error("expected error for wrong-length vector")
+	}
+	if err := model.ValidateDistribution([]float64{1}, 1e-9); err == nil {
+		t.Error("expected error for wrong-length distribution")
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	pmf := binomialPMF(4, 0.5)
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for i := range want {
+		if math.Abs(pmf[i]-want[i]) > 1e-12 {
+			t.Errorf("pmf[%d] = %v, want %v", i, pmf[i], want[i])
+		}
+	}
+	if pmf := binomialPMF(0, 0.3); len(pmf) != 1 || pmf[0] != 1 {
+		t.Errorf("binomialPMF(0, .) = %v", pmf)
+	}
+}
+
+func TestHigherLoadIncreasesVoiceBlocking(t *testing.T) {
+	low := smallConfig()
+	low.TotalCallRate = 0.05
+	_, resLow := solveSmall(t, low)
+
+	high := smallConfig()
+	high.TotalCallRate = 2.0
+	_, resHigh := solveSmall(t, high)
+
+	if resHigh.Measures.GSMBlockingProbability <= resLow.Measures.GSMBlockingProbability {
+		t.Errorf("blocking should grow with load: %v vs %v",
+			resHigh.Measures.GSMBlockingProbability, resLow.Measures.GSMBlockingProbability)
+	}
+	if resHigh.Measures.CarriedVoiceTraffic <= resLow.Measures.CarriedVoiceTraffic {
+		t.Errorf("carried voice traffic should grow with load: %v vs %v",
+			resHigh.Measures.CarriedVoiceTraffic, resLow.Measures.CarriedVoiceTraffic)
+	}
+}

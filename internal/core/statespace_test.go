@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateSpaceSize(t *testing.T) {
+	// N_GSM = 19, K = 100, M = 50 gives the state-space size quoted in
+	// Section 4.1: (M+1)(M+2)/2 * (N_GSM+1) * (K+1).
+	sp := NewStateSpace(19, 100, 50)
+	want := 51 * 52 / 2 * 20 * 101
+	if sp.NumStates() != want {
+		t.Errorf("NumStates = %d, want %d", sp.NumStates(), want)
+	}
+	if sp.GSMChannels() != 19 || sp.BufferSize() != 100 || sp.MaxSessions() != 50 {
+		t.Error("accessors do not round-trip the constructor arguments")
+	}
+}
+
+func TestStateSpaceRoundTripExhaustive(t *testing.T) {
+	sp := NewStateSpace(3, 4, 5)
+	seen := make(map[int]bool, sp.NumStates())
+	count := 0
+	for n := 0; n <= 3; n++ {
+		for k := 0; k <= 4; k++ {
+			for m := 0; m <= 5; m++ {
+				for r := 0; r <= m; r++ {
+					s := State{GSMCalls: n, Packets: k, Sessions: m, OffSessions: r}
+					if !sp.Contains(s) {
+						t.Fatalf("state %v should be contained", s)
+					}
+					idx := sp.Index(s)
+					if idx < 0 || idx >= sp.NumStates() {
+						t.Fatalf("index %d out of range for %v", idx, s)
+					}
+					if seen[idx] {
+						t.Fatalf("duplicate index %d for %v", idx, s)
+					}
+					seen[idx] = true
+					back := sp.State(idx)
+					if back != s {
+						t.Fatalf("round trip %v -> %d -> %v", s, idx, back)
+					}
+					count++
+				}
+			}
+		}
+	}
+	if count != sp.NumStates() {
+		t.Errorf("enumerated %d states, space reports %d", count, sp.NumStates())
+	}
+}
+
+func TestStateSpaceContainsRejectsInvalid(t *testing.T) {
+	sp := NewStateSpace(2, 2, 2)
+	invalid := []State{
+		{GSMCalls: -1},
+		{GSMCalls: 3},
+		{Packets: -1},
+		{Packets: 3},
+		{Sessions: 3},
+		{Sessions: 1, OffSessions: 2}, // r > m
+		{OffSessions: -1},
+	}
+	for _, s := range invalid {
+		if sp.Contains(s) {
+			t.Errorf("state %v should not be contained", s)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	s := State{GSMCalls: 1, Packets: 2, Sessions: 3, OffSessions: 1}
+	if s.String() != "(n=1, k=2, m=3, r=1)" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestTriangularRow(t *testing.T) {
+	// tri indices 0,1,2,3,4,5,... map to rows 0,1,1,2,2,2,...
+	wantRows := []int{0, 1, 1, 2, 2, 2, 3, 3, 3, 3, 4}
+	for tri, want := range wantRows {
+		if got := triangularRow(tri); got != want {
+			t.Errorf("triangularRow(%d) = %d, want %d", tri, got, want)
+		}
+	}
+}
+
+// Property: Index and State are inverse bijections for random spaces.
+func TestStateSpaceRoundTripProperty(t *testing.T) {
+	prop := func(nSeed, kSeed, mSeed uint8, pick uint16) bool {
+		sp := NewStateSpace(int(nSeed%6)+1, int(kSeed%10)+1, int(mSeed%8)+1)
+		idx := int(pick) % sp.NumStates()
+		s := sp.State(idx)
+		if !sp.Contains(s) {
+			return false
+		}
+		return sp.Index(s) == idx
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package des is a discrete-event simulation kernel: an event calendar with a
+// simulation clock, deterministic tie-breaking, and reproducible random
+// variate streams. It substitutes for the CSIM library used by the paper's
+// authors to implement the detailed network-level GPRS simulator.
+//
+// The kernel is event-oriented rather than process-oriented: model code
+// schedules callbacks at future simulation times. Determinism is guaranteed
+// for a fixed seed because ties in event time are broken by scheduling order.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidTime is returned when an event is scheduled in the past or at a
+// non-finite time.
+var ErrInvalidTime = errors.New("des: invalid event time")
+
+// Event is a scheduled callback.
+type Event struct {
+	// Time is the simulation time at which the event fires.
+	Time float64
+	// Action is invoked when the event fires.
+	Action func()
+
+	seq      uint64
+	canceled bool
+	index    int
+}
+
+// Cancel prevents the event from firing. Cancelling an already fired or
+// already cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether the event was cancelled.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// eventQueue is a binary heap ordered by (time, sequence number).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulation owns the event calendar and the simulation clock. It is not safe
+// for concurrent use; a simulation run is single-threaded (replications can
+// run in parallel, each with its own Simulation).
+type Simulation struct {
+	now    float64
+	queue  eventQueue
+	seq    uint64
+	events uint64
+}
+
+// NewSimulation returns an empty simulation with the clock at time 0.
+func NewSimulation() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Simulation) Now() float64 { return s.now }
+
+// ProcessedEvents returns the number of events executed so far.
+func (s *Simulation) ProcessedEvents() uint64 { return s.events }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been discarded).
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Schedule registers action to run at absolute simulation time t and returns
+// a handle that can be used to cancel it.
+func (s *Simulation) Schedule(t float64, action func()) (*Event, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) || t < s.now {
+		return nil, fmt.Errorf("%w: t = %v (now %v)", ErrInvalidTime, t, s.now)
+	}
+	if action == nil {
+		return nil, fmt.Errorf("%w: nil action", ErrInvalidTime)
+	}
+	ev := &Event{Time: t, Action: action, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev, nil
+}
+
+// ScheduleAfter registers action to run delay seconds after the current
+// simulation time.
+func (s *Simulation) ScheduleAfter(delay float64, action func()) (*Event, error) {
+	return s.Schedule(s.now+delay, action)
+}
+
+// Step executes the next pending event. It returns false when the calendar is
+// empty.
+func (s *Simulation) Step() bool {
+	for len(s.queue) > 0 {
+		ev, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			continue
+		}
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.Time
+		s.events++
+		ev.Action()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the simulation clock reaches endTime or the
+// calendar becomes empty. Events scheduled exactly at endTime are executed.
+// It returns the number of events executed.
+func (s *Simulation) RunUntil(endTime float64) uint64 {
+	var executed uint64
+	for len(s.queue) > 0 {
+		next := s.peekTime()
+		if next > endTime {
+			break
+		}
+		if s.Step() {
+			executed++
+		}
+	}
+	if s.now < endTime {
+		s.now = endTime
+	}
+	return executed
+}
+
+// Run executes events until the calendar is empty and returns the number of
+// events executed.
+func (s *Simulation) Run() uint64 {
+	var executed uint64
+	for s.Step() {
+		executed++
+	}
+	return executed
+}
+
+// peekTime returns the time of the earliest non-cancelled event, discarding
+// cancelled events it encounters, or +Inf when none remain.
+func (s *Simulation) peekTime() float64 {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].Time
+	}
+	return math.Inf(1)
+}

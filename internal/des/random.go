@@ -1,0 +1,87 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Stream is a reproducible random variate stream for simulation input
+// modelling. Distinct model components should use distinct streams (obtained
+// from distinct seeds) so that changing one input process does not perturb
+// the others — the common random numbers technique.
+type Stream struct {
+	rng *rand.Rand
+}
+
+// NewStream returns a stream seeded deterministically.
+func NewStream(seed int64) *Stream {
+	return &Stream{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform returns a variate uniformly distributed on [0, 1).
+func (s *Stream) Uniform() float64 { return s.rng.Float64() }
+
+// UniformRange returns a variate uniformly distributed on [lo, hi).
+func (s *Stream) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Exponential returns an exponentially distributed variate with the given
+// mean. A non-positive mean yields 0.
+func (s *Stream) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Geometric returns a geometrically distributed variate on {1, 2, ...} with
+// the given mean (>= 1): the number of Bernoulli trials up to and including
+// the first success with success probability 1/mean. The 3GPP traffic model
+// uses geometric counts for packet calls per session and packets per packet
+// call.
+func (s *Stream) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	// Inversion: ceil(ln(U) / ln(1-p)).
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	n := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Bernoulli returns true with probability p.
+func (s *Stream) Bernoulli(p float64) bool { return s.rng.Float64() < p }
+
+// Intn returns a uniformly distributed integer in [0, n). It returns 0 for
+// n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return s.rng.Intn(n)
+}
+
+// Pick returns a uniformly chosen element index of a slice of length n,
+// excluding the index skip (useful for choosing a handover target other than
+// the current cell). It returns -1 if no valid choice exists.
+func (s *Stream) Pick(n, skip int) int {
+	if n <= 0 || (n == 1 && skip == 0) {
+		return -1
+	}
+	if skip < 0 || skip >= n {
+		return s.Intn(n)
+	}
+	idx := s.Intn(n - 1)
+	if idx >= skip {
+		idx++
+	}
+	return idx
+}

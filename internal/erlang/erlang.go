@@ -1,0 +1,176 @@
+// Package erlang provides closed-form results for the M/M/c/c loss system
+// (Erlang-B), which the paper uses to describe the marginal behaviour of GSM
+// voice calls and GPRS sessions in the cell (Section 4.2, Eqs. 1–7) and to
+// balance handover flows iteratively (Eqs. 4–5).
+package erlang
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidParameter is returned when a queueing parameter is out of range.
+var ErrInvalidParameter = errors.New("erlang: invalid parameter")
+
+// LossSystem describes an M/M/c/c queue with Poisson arrivals of rate Lambda,
+// exponential service with rate Mu per server, and C servers and no waiting
+// room. Arrivals finding all servers busy are blocked and lost.
+type LossSystem struct {
+	// Lambda is the total arrival rate (per second).
+	Lambda float64
+	// Mu is the per-customer service rate (per second).
+	Mu float64
+	// C is the number of servers.
+	C int
+}
+
+// Validate reports whether the parameters describe a well-formed loss system.
+func (s LossSystem) Validate() error {
+	if s.Lambda < 0 || math.IsNaN(s.Lambda) || math.IsInf(s.Lambda, 0) {
+		return fmt.Errorf("%w: lambda = %v", ErrInvalidParameter, s.Lambda)
+	}
+	if s.Mu <= 0 || math.IsNaN(s.Mu) || math.IsInf(s.Mu, 0) {
+		return fmt.Errorf("%w: mu = %v", ErrInvalidParameter, s.Mu)
+	}
+	if s.C < 0 {
+		return fmt.Errorf("%w: c = %d", ErrInvalidParameter, s.C)
+	}
+	return nil
+}
+
+// OfferedLoad returns the offered traffic intensity rho = Lambda / Mu in
+// Erlangs (Eq. 1 of the paper).
+func (s LossSystem) OfferedLoad() float64 {
+	return s.Lambda / s.Mu
+}
+
+// Distribution returns the steady-state probabilities p_0..p_C of the number
+// of busy servers (Eqs. 2–3 of the paper). The computation normalizes
+// incrementally to avoid overflow for large C or rho.
+func (s LossSystem) Distribution() ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rho := s.OfferedLoad()
+	p := make([]float64, s.C+1)
+	// Work with unnormalized terms t_n = rho^n / n!, computed recursively and
+	// rescaled when they grow large.
+	terms := make([]float64, s.C+1)
+	terms[0] = 1
+	sum := 1.0
+	for n := 1; n <= s.C; n++ {
+		terms[n] = terms[n-1] * rho / float64(n)
+		sum += terms[n]
+		if sum > 1e280 {
+			scale := 1e-280
+			sum *= scale
+			for i := 0; i <= n; i++ {
+				terms[i] *= scale
+			}
+		}
+	}
+	for n := 0; n <= s.C; n++ {
+		p[n] = terms[n] / sum
+	}
+	return p, nil
+}
+
+// BlockingProbability returns the Erlang-B blocking probability p_C, i.e.
+// the probability that an arriving customer finds all servers busy. It uses
+// the numerically stable Erlang-B recursion.
+func (s LossSystem) BlockingProbability() (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	return ErlangB(s.OfferedLoad(), s.C), nil
+}
+
+// MeanBusyServers returns the expected number of busy servers
+// E[N] = rho * (1 - B(rho, C)); for GSM voice this is the carried voice
+// traffic (CVT, Eq. 6) and for GPRS sessions the average number of active
+// sessions (AGS, Eq. 7).
+func (s LossSystem) MeanBusyServers() (float64, error) {
+	b, err := s.BlockingProbability()
+	if err != nil {
+		return 0, err
+	}
+	return s.OfferedLoad() * (1 - b), nil
+}
+
+// ErlangB computes the Erlang-B blocking probability for offered load rho
+// (Erlangs) and c servers using the standard recursion
+// B(rho, 0) = 1, B(rho, n) = rho*B(rho,n-1) / (n + rho*B(rho,n-1)).
+func ErlangB(rho float64, c int) float64 {
+	if c < 0 {
+		return 1
+	}
+	if rho <= 0 {
+		if c == 0 {
+			return 1
+		}
+		return 0
+	}
+	b := 1.0
+	for n := 1; n <= c; n++ {
+		b = rho * b / (float64(n) + rho*b)
+	}
+	return b
+}
+
+// HandoverBalance holds the result of the iterative handover-flow balancing
+// procedure of Eqs. (4)–(5): the fixed-point incoming handover rate and the
+// resulting loss-system view of the cell.
+type HandoverBalance struct {
+	// HandoverRate is the balanced incoming (= outgoing) handover rate.
+	HandoverRate float64
+	// System is the loss system with total arrival rate NewCallRate +
+	// HandoverRate and total departure rate Mu + HandoverMu per customer.
+	System LossSystem
+	// Iterations is the number of fixed-point iterations performed.
+	Iterations int
+	// Converged indicates the iteration reached the requested tolerance.
+	Converged bool
+}
+
+// BalanceHandover runs the fixed-point iteration of Eqs. (4)–(5): starting
+// from handoverRate = newCallRate, the incoming handover rate at step i+1 is
+// set to the outgoing handover rate mu_h * E[N] computed from the loss-system
+// distribution at step i. newCallRate is the arrival rate of fresh calls or
+// sessions, mu is the completion rate, muH the handover (dwell-time) rate,
+// and servers the admission limit (N_GSM channels or M sessions).
+func BalanceHandover(newCallRate, mu, muH float64, servers int, tol float64, maxIter int) (HandoverBalance, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	hb := HandoverBalance{HandoverRate: newCallRate}
+	if muH == 0 {
+		// No mobility: the fixed point is zero handover flow.
+		hb.HandoverRate = 0
+		hb.System = LossSystem{Lambda: newCallRate, Mu: mu, C: servers}
+		hb.Converged = true
+		return hb, hb.System.Validate()
+	}
+	for i := 0; i < maxIter; i++ {
+		sys := LossSystem{Lambda: newCallRate + hb.HandoverRate, Mu: mu + muH, C: servers}
+		mean, err := sys.MeanBusyServers()
+		if err != nil {
+			return hb, err
+		}
+		next := muH * mean
+		hb.Iterations = i + 1
+		hb.System = sys
+		if math.Abs(next-hb.HandoverRate) <= tol*(1+math.Abs(next)) {
+			hb.HandoverRate = next
+			hb.System = LossSystem{Lambda: newCallRate + next, Mu: mu + muH, C: servers}
+			hb.Converged = true
+			return hb, nil
+		}
+		hb.HandoverRate = next
+	}
+	hb.System = LossSystem{Lambda: newCallRate + hb.HandoverRate, Mu: mu + muH, C: servers}
+	return hb, nil
+}

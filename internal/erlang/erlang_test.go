@@ -1,0 +1,209 @@
+package erlang
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Reference values from standard Erlang-B tables.
+	cases := []struct {
+		rho  float64
+		c    int
+		want float64
+	}{
+		{1, 1, 0.5},
+		{2, 2, 0.4},
+		{10, 10, 0.21458},
+		{5, 10, 0.01838},
+		{0, 5, 0},
+	}
+	for _, tc := range cases {
+		got := ErlangB(tc.rho, tc.c)
+		if math.Abs(got-tc.want) > 1e-4 {
+			t.Errorf("ErlangB(%v, %d) = %v, want %v", tc.rho, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestErlangBEdgeCases(t *testing.T) {
+	if ErlangB(5, 0) != 1 {
+		t.Error("zero servers should block everything")
+	}
+	if ErlangB(0, 0) != 1 {
+		t.Error("zero servers with zero load blocks by convention")
+	}
+	if ErlangB(3, -1) != 1 {
+		t.Error("negative servers treated as full blocking")
+	}
+	if ErlangB(1e6, 10) < 0.99 {
+		t.Error("enormous load should be almost fully blocked")
+	}
+}
+
+func TestDistributionMatchesErlangB(t *testing.T) {
+	sys := LossSystem{Lambda: 0.5, Mu: 1.0 / 120, C: 19}
+	dist, err := sys.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 20 {
+		t.Fatalf("distribution length = %d, want 20", len(dist))
+	}
+	var sum float64
+	for _, p := range dist {
+		if p < 0 {
+			t.Fatalf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("distribution sums to %v, want 1", sum)
+	}
+	b, err := sys.BlockingProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist[sys.C]-b) > 1e-12 {
+		t.Errorf("p_C = %v but ErlangB = %v", dist[sys.C], b)
+	}
+}
+
+func TestMeanBusyServersMatchesDistribution(t *testing.T) {
+	sys := LossSystem{Lambda: 0.3, Mu: 1.0 / 300, C: 25}
+	dist, err := sys.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for n, p := range dist {
+		mean += float64(n) * p
+	}
+	got, err := sys.MeanBusyServers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-mean) > 1e-9 {
+		t.Errorf("MeanBusyServers = %v, distribution mean = %v", got, mean)
+	}
+}
+
+func TestDistributionLargeLoadNoOverflow(t *testing.T) {
+	sys := LossSystem{Lambda: 500, Mu: 1, C: 400}
+	dist, err := sys.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("large-load distribution sums to %v", sum)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []LossSystem{
+		{Lambda: -1, Mu: 1, C: 1},
+		{Lambda: 1, Mu: 0, C: 1},
+		{Lambda: 1, Mu: 1, C: -2},
+		{Lambda: math.NaN(), Mu: 1, C: 1},
+		{Lambda: 1, Mu: math.Inf(1), C: 1},
+	}
+	for i, sys := range bad {
+		if err := sys.Validate(); !errors.Is(err, ErrInvalidParameter) {
+			t.Errorf("case %d: expected ErrInvalidParameter, got %v", i, err)
+		}
+		if _, err := sys.Distribution(); err == nil {
+			t.Errorf("case %d: Distribution should fail", i)
+		}
+		if _, err := sys.BlockingProbability(); err == nil {
+			t.Errorf("case %d: BlockingProbability should fail", i)
+		}
+		if _, err := sys.MeanBusyServers(); err == nil {
+			t.Errorf("case %d: MeanBusyServers should fail", i)
+		}
+	}
+}
+
+// Property: Erlang-B is increasing in offered load and decreasing in the
+// number of servers, and always lies in [0, 1].
+func TestErlangBMonotonicityProperties(t *testing.T) {
+	prop := func(loadSeed uint32, cSeed uint8) bool {
+		rho := 0.1 + float64(loadSeed%1000)/10 // 0.1 .. 100
+		c := int(cSeed%60) + 1
+		b := ErlangB(rho, c)
+		if b < 0 || b > 1 {
+			return false
+		}
+		if ErlangB(rho+1, c) < b-1e-12 {
+			return false
+		}
+		if ErlangB(rho, c+1) > b+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceHandoverConverges(t *testing.T) {
+	// GSM base setting: 120 s call duration, 60 s dwell time, 19 channels.
+	hb, err := BalanceHandover(0.5, 1.0/120, 1.0/60, 19, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hb.Converged {
+		t.Fatalf("handover balancing did not converge after %d iterations", hb.Iterations)
+	}
+	if hb.HandoverRate <= 0 {
+		t.Errorf("handover rate = %v, want > 0", hb.HandoverRate)
+	}
+	// At the fixed point the outgoing handover flow equals the incoming one.
+	mean, err := hb.System.MeanBusyServers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outgoing := (1.0 / 60) * mean
+	if math.Abs(outgoing-hb.HandoverRate) > 1e-6 {
+		t.Errorf("fixed point violated: incoming %v vs outgoing %v", hb.HandoverRate, outgoing)
+	}
+}
+
+func TestBalanceHandoverNoMobility(t *testing.T) {
+	hb, err := BalanceHandover(0.2, 1.0/100, 0, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.HandoverRate != 0 || !hb.Converged {
+		t.Errorf("zero mobility should yield zero handover flow, got %v", hb.HandoverRate)
+	}
+}
+
+func TestBalanceHandoverDwellShorterThanDuration(t *testing.T) {
+	// GPRS sessions in traffic models 1-2: session duration ~2100 s but dwell
+	// time 120 s, so users hand over many times and the handover flow greatly
+	// exceeds the fresh arrival rate (Section 5.3 of the paper).
+	hb, err := BalanceHandover(0.05, 1.0/2122.5, 1.0/120, 50, 1e-12, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hb.Converged {
+		t.Fatal("did not converge")
+	}
+	if hb.HandoverRate < 0.05 {
+		t.Errorf("handover rate %v should exceed fresh session rate for long sessions", hb.HandoverRate)
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	sys := LossSystem{Lambda: 2, Mu: 0.5, C: 3}
+	if sys.OfferedLoad() != 4 {
+		t.Errorf("offered load = %v, want 4", sys.OfferedLoad())
+	}
+}

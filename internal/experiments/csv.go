@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes one figure as a CSV file named <dir>/<figure-id>.csv with
+// one row per x value and one column per series (plus optional confidence
+// half-width columns for simulator series). It returns the written path.
+func WriteCSV(fig Figure, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("create results directory: %w", err)
+	}
+	path := filepath.Join(dir, fig.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+
+	w := csv.NewWriter(f)
+	header := []string{"call_rate_per_s"}
+	for _, s := range fig.Series {
+		header = append(header, sanitizeColumn(s.Label))
+		if s.YErr != nil {
+			header = append(header, sanitizeColumn(s.Label)+"_ci_halfwidth")
+		}
+	}
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+
+	if len(fig.Series) > 0 {
+		for i := range fig.Series[0].X {
+			row := []string{formatFloat(fig.Series[0].X[i])}
+			for _, s := range fig.Series {
+				if i < len(s.Y) {
+					row = append(row, formatFloat(s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+				if s.YErr != nil {
+					if i < len(s.YErr) {
+						row = append(row, formatFloat(s.YErr[i]))
+					} else {
+						row = append(row, "")
+					}
+				}
+			}
+			if err := w.Write(row); err != nil {
+				return "", err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteAllCSV writes every figure into dir and returns the written paths.
+func WriteAllCSV(figs []Figure, dir string) ([]string, error) {
+	paths := make([]string, 0, len(figs))
+	for _, fig := range figs {
+		p, err := WriteCSV(fig, dir)
+		if err != nil {
+			return paths, fmt.Errorf("figure %s: %w", fig.ID, err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// FormatFigure renders a figure as an aligned text table for terminal output.
+func FormatFigure(fig Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", fig.ID, fig.Title)
+	fmt.Fprintf(&b, "  %-12s", fig.XLabel)
+	for _, s := range fig.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteString("\n")
+	if len(fig.Series) == 0 {
+		return b.String()
+	}
+	for i := range fig.Series[0].X {
+		fmt.Fprintf(&b, "  %-12.3g", fig.Series[0].X[i])
+		for _, s := range fig.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %22.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %22s", "")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func sanitizeColumn(label string) string {
+	out := strings.ToLower(label)
+	for _, r := range []string{" ", ",", "=", "%", "(", ")", "/"} {
+		out = strings.ReplaceAll(out, r, "_")
+	}
+	for strings.Contains(out, "__") {
+		out = strings.ReplaceAll(out, "__", "_")
+	}
+	return strings.Trim(out, "_")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

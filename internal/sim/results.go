@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Results reports the mid-cell measurements of one simulation run as
+// batch-means confidence intervals, mirroring the performance measures of the
+// analytical model (Section 4.2 of the paper).
+type Results struct {
+	// CarriedDataTraffic is the time-average number of PDCHs transmitting
+	// data (CDT).
+	CarriedDataTraffic stats.Interval
+	// PacketLossProbability is the fraction of packets arriving at the BSC
+	// that are dropped because the buffer is full (PLP).
+	PacketLossProbability stats.Interval
+	// QueueingDelay is the mean time a delivered packet spends in the BSC
+	// buffer, in seconds (QD).
+	QueueingDelay stats.Interval
+	// ThroughputBits is the delivered data rate in bit/s.
+	ThroughputBits stats.Interval
+	// ThroughputPerUserBits is the delivered data rate per active GPRS
+	// session in bit/s (ATU).
+	ThroughputPerUserBits stats.Interval
+	// AverageSessions is the time-average number of active GPRS sessions
+	// (AGS).
+	AverageSessions stats.Interval
+	// CarriedVoiceTraffic is the time-average number of busy voice channels
+	// (CVT).
+	CarriedVoiceTraffic stats.Interval
+	// GSMBlockingProbability is the fraction of fresh GSM calls blocked in
+	// the mid cell.
+	GSMBlockingProbability stats.Interval
+	// GPRSBlockingProbability is the fraction of fresh GPRS session requests
+	// blocked in the mid cell.
+	GPRSBlockingProbability stats.Interval
+	// MeanQueueLength is the time-average BSC buffer occupancy in packets.
+	MeanQueueLength stats.Interval
+
+	// Totals over the whole measurement period (mid cell).
+	PacketsOffered   int64
+	PacketsLost      int64
+	PacketsDelivered int64
+	HandoversIn      int64
+	HandoversOut     int64
+	TCPTimeouts      int64
+	TCPFastRecovers  int64
+	SimulatedSec     float64
+	Events           uint64
+}
+
+// String renders the results as a small table.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mid-cell results over %.0f s (%d events)\n", r.SimulatedSec, r.Events)
+	rows := []struct {
+		name string
+		iv   stats.Interval
+	}{
+		{"CDT (PDCHs)", r.CarriedDataTraffic},
+		{"PLP", r.PacketLossProbability},
+		{"QD (s)", r.QueueingDelay},
+		{"throughput (bit/s)", r.ThroughputBits},
+		{"ATU (bit/s)", r.ThroughputPerUserBits},
+		{"AGS (sessions)", r.AverageSessions},
+		{"CVT (channels)", r.CarriedVoiceTraffic},
+		{"GSM blocking", r.GSMBlockingProbability},
+		{"GPRS blocking", r.GPRSBlockingProbability},
+		{"mean queue length", r.MeanQueueLength},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-20s %s\n", row.name, row.iv.String())
+	}
+	fmt.Fprintf(&b, "  offered=%d lost=%d delivered=%d handovers in/out=%d/%d tcp timeouts=%d fast recoveries=%d\n",
+		r.PacketsOffered, r.PacketsLost, r.PacketsDelivered, r.HandoversIn, r.HandoversOut,
+		r.TCPTimeouts, r.TCPFastRecovers)
+	return b.String()
+}
+
+// batchAccumulator collects the per-batch observations of the mid cell and
+// produces the batch-means intervals.
+type batchAccumulator struct {
+	level float64
+
+	cdt        *stats.BatchMeans
+	plp        *stats.BatchMeans
+	qd         *stats.BatchMeans
+	throughput *stats.BatchMeans
+	atu        *stats.BatchMeans
+	ags        *stats.BatchMeans
+	cvt        *stats.BatchMeans
+	gsmBlock   *stats.BatchMeans
+	gprsBlock  *stats.BatchMeans
+	queueLen   *stats.BatchMeans
+}
+
+func newBatchAccumulator(level float64) *batchAccumulator {
+	mk := func() *stats.BatchMeans { return stats.NewBatchMeans(1) }
+	return &batchAccumulator{
+		level:      level,
+		cdt:        mk(),
+		plp:        mk(),
+		qd:         mk(),
+		throughput: mk(),
+		atu:        mk(),
+		ags:        mk(),
+		cvt:        mk(),
+		gsmBlock:   mk(),
+		gprsBlock:  mk(),
+		queueLen:   mk(),
+	}
+}
+
+func (a *batchAccumulator) results() Results {
+	return Results{
+		CarriedDataTraffic:      a.cdt.ConfidenceInterval(a.level),
+		PacketLossProbability:   a.plp.ConfidenceInterval(a.level),
+		QueueingDelay:           a.qd.ConfidenceInterval(a.level),
+		ThroughputBits:          a.throughput.ConfidenceInterval(a.level),
+		ThroughputPerUserBits:   a.atu.ConfidenceInterval(a.level),
+		AverageSessions:         a.ags.ConfidenceInterval(a.level),
+		CarriedVoiceTraffic:     a.cvt.ConfidenceInterval(a.level),
+		GSMBlockingProbability:  a.gsmBlock.ConfidenceInterval(a.level),
+		GPRSBlockingProbability: a.gprsBlock.ConfidenceInterval(a.level),
+		MeanQueueLength:         a.queueLen.ConfidenceInterval(a.level),
+	}
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"repro/internal/des"
+	"repro/internal/tcp"
+)
+
+// voiceCall is one circuit-switched GSM call moving through the cluster.
+type voiceCall struct {
+	cellID     int
+	departEv   *des.Event
+	handoverEv *des.Event
+}
+
+// session is one GPRS packet-service session: an alternating sequence of
+// packet calls (document downloads) and reading times, following the 3GPP
+// traffic model of the paper.
+type session struct {
+	id     int
+	cellID int
+	sim    *Simulator
+
+	active          bool
+	packetCallsLeft int
+
+	// Closed-loop (TCP) state.
+	conn *connection
+
+	// Open-loop (IPP) state.
+	packetsLeftInCall int
+	genEv             *des.Event
+
+	handoverEv *des.Event
+	seqCounter int
+}
+
+// start begins the first packet call.
+func (s *session) start() {
+	s.active = true
+	s.packetCallsLeft = s.sim.streams.traffic.Geometric(s.sim.cfg.Session.NumPacketCalls)
+	s.startPacketCall()
+}
+
+// startPacketCall begins the download of one document.
+func (s *session) startPacketCall() {
+	if !s.active {
+		return
+	}
+	packets := s.sim.streams.traffic.Geometric(s.sim.cfg.Session.PacketsPerCall)
+	if s.sim.cfg.EnableTCP {
+		conn, err := newConnection(s, packets)
+		if err != nil {
+			// The TCP configuration was validated up front; a failure here
+			// means the session cannot transfer data, so terminate it.
+			s.end()
+			return
+		}
+		s.conn = conn
+		conn.pump()
+		return
+	}
+	s.packetsLeftInCall = packets
+	s.scheduleNextGeneration()
+}
+
+// scheduleNextGeneration schedules the next open-loop packet of the current
+// packet call after an exponential inter-arrival time.
+func (s *session) scheduleNextGeneration() {
+	gap := s.sim.streams.traffic.Exponential(s.sim.cfg.Session.PacketInterarrivalSec)
+	s.genEv = s.sim.schedule(gap, s.generatePacket)
+}
+
+// generatePacket emits one open-loop packet into the BSC buffer of the
+// session's current cell.
+func (s *session) generatePacket() {
+	if !s.active {
+		return
+	}
+	p := &packet{owner: s, seq: s.seqCounter}
+	s.seqCounter++
+	s.sim.cells[s.cellID].enqueue(p)
+	s.packetsLeftInCall--
+	if s.packetsLeftInCall > 0 {
+		s.scheduleNextGeneration()
+		return
+	}
+	s.packetCallComplete()
+}
+
+// packetCallComplete finishes the current packet call: either the session
+// ends (no packet calls left) or a reading time starts before the next one.
+func (s *session) packetCallComplete() {
+	if !s.active {
+		return
+	}
+	s.conn = nil
+	s.packetCallsLeft--
+	if s.packetCallsLeft <= 0 {
+		s.end()
+		return
+	}
+	reading := s.sim.streams.traffic.Exponential(s.sim.cfg.Session.ReadingTimeSec)
+	s.genEv = s.sim.schedule(reading, s.startPacketCall)
+}
+
+// end terminates the session and releases its slot in the current cell.
+func (s *session) end() {
+	if !s.active {
+		return
+	}
+	s.active = false
+	s.sim.cells[s.cellID].removeSession()
+	s.handoverEv.Cancel()
+	s.genEv.Cancel()
+	if s.conn != nil {
+		s.conn.abort()
+		s.conn = nil
+	}
+}
+
+// handover moves the session to a neighbouring cell, or drops it if the
+// target cell has reached its session limit.
+func (s *session) handover() {
+	if !s.active {
+		return
+	}
+	old := s.sim.cells[s.cellID]
+	targetID := s.sim.cfg.Topology.HandoverTarget(s.cellID, s.sim.streams.handover.Intn)
+	if targetID < 0 {
+		s.scheduleHandover()
+		return
+	}
+	target := s.sim.cells[targetID]
+	old.handoversOut++
+	if !target.canAdmitSession() {
+		// Handover failure: the session is forced to terminate.
+		s.end()
+		return
+	}
+	old.removeSession()
+	target.addSession()
+	target.handoversIn++
+	s.cellID = targetID
+	s.scheduleHandover()
+}
+
+// scheduleHandover arms the dwell-time timer in the current cell.
+func (s *session) scheduleHandover() {
+	dwell := s.sim.streams.handover.Exponential(s.sim.cfg.GPRSDwellTimeSec)
+	s.handoverEv = s.sim.schedule(dwell, s.handover)
+}
+
+// connection is the TCP transfer of one packet call: a fixed-network sender
+// paced by Reno congestion control, the BSC buffer as the bottleneck, and the
+// mobile station as receiver returning cumulative acknowledgements.
+type connection struct {
+	sess   *session
+	sim    *Simulator
+	sender *tcp.Sender
+
+	total         int
+	recvNext      int
+	deliveredSeqs map[int]bool
+	sendTimes     map[int]float64
+	retransmitted map[int]bool
+
+	rtoEv *des.Event
+	done  bool
+}
+
+func newConnection(s *session, totalSegments int) (*connection, error) {
+	sender, err := tcp.NewSender(s.sim.cfg.TCP)
+	if err != nil {
+		return nil, err
+	}
+	return &connection{
+		sess:          s,
+		sim:           s.sim,
+		sender:        sender,
+		total:         totalSegments,
+		deliveredSeqs: make(map[int]bool, totalSegments),
+		sendTimes:     make(map[int]float64, totalSegments),
+		retransmitted: make(map[int]bool),
+	}, nil
+}
+
+// pump transmits new segments while the congestion window allows it.
+func (c *connection) pump() {
+	for !c.done && c.sender.CanSend() && c.sender.NextSequence() < c.total {
+		seq := c.sender.OnSend()
+		c.send(seq)
+	}
+}
+
+// send ships one segment towards the BSC after the core-network delay.
+func (c *connection) send(seq int) {
+	if c.done {
+		return
+	}
+	if _, seen := c.sendTimes[seq]; seen {
+		c.retransmitted[seq] = true
+	}
+	c.sendTimes[seq] = c.sim.now()
+	c.sim.schedule(c.sim.cfg.CoreNetworkDelaySec, func() {
+		if c.done || !c.sess.active {
+			return
+		}
+		p := &packet{owner: c.sess, conn: c, seq: seq}
+		c.sim.cells[c.sess.cellID].enqueue(p)
+	})
+	c.restartRTO()
+}
+
+// onDelivered is called when a segment reaches the mobile station; the
+// receiver advances its cumulative ACK and returns it over the uplink.
+func (c *connection) onDelivered(seq int, at float64) {
+	if c.done {
+		return
+	}
+	if !c.deliveredSeqs[seq] {
+		c.deliveredSeqs[seq] = true
+		for c.deliveredSeqs[c.recvNext] {
+			c.recvNext++
+		}
+	}
+	ackVal := c.recvNext
+	delay := c.sim.cfg.UplinkDelaySec + c.sim.cfg.CoreNetworkDelaySec
+	c.sim.schedule(delay+(at-c.sim.now()), func() { c.onAck(ackVal, seq) })
+}
+
+// onAck processes a cumulative acknowledgement arriving at the sender.
+func (c *connection) onAck(ackVal, sampleSeq int) {
+	if c.done {
+		return
+	}
+	var sample float64
+	if !c.retransmitted[sampleSeq] {
+		if sent, ok := c.sendTimes[sampleSeq]; ok {
+			sample = c.sim.now() - sent
+		}
+	}
+	res := c.sender.OnAck(ackVal, sample)
+	if res.FastRetransmit {
+		seq := c.sender.OnRetransmit()
+		c.send(seq)
+	}
+	if c.recvNext >= c.total && c.sender.InFlight() == 0 {
+		c.complete()
+		return
+	}
+	if c.sender.InFlight() > 0 {
+		c.restartRTO()
+	} else {
+		c.rtoEv.Cancel()
+	}
+	c.pump()
+}
+
+// onTimeout reacts to a retransmission timeout: collapse the window and
+// resend go-back-N style from the last cumulative acknowledgement.
+func (c *connection) onTimeout() {
+	if c.done {
+		return
+	}
+	c.sender.OnTimeout()
+	c.restartRTO()
+	c.pump()
+}
+
+// restartRTO re-arms the retransmission timer.
+func (c *connection) restartRTO() {
+	c.rtoEv.Cancel()
+	c.rtoEv = c.sim.schedule(c.sender.RTO(), c.onTimeout)
+}
+
+// complete finishes the transfer and hands control back to the session.
+func (c *connection) complete() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.rtoEv.Cancel()
+	c.sim.totalTimeouts += int64(c.sender.Timeouts())
+	c.sim.totalFastRecovers += int64(c.sender.FastRecoveries())
+	c.sess.packetCallComplete()
+}
+
+// abort terminates the transfer without notifying the session (used when the
+// session itself ends or is dropped at a handover).
+func (c *connection) abort() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.rtoEv.Cancel()
+	c.sim.totalTimeouts += int64(c.sender.Timeouts())
+	c.sim.totalFastRecovers += int64(c.sender.FastRecoveries())
+}

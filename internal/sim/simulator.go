@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/radio"
+	"repro/internal/traffic"
+)
+
+// Simulator runs the detailed network-level model of the GSM/GPRS cluster.
+// Create one with New, run it once with Run; for independent replications
+// create new Simulators with different seeds.
+type Simulator struct {
+	cfg Config
+	eng *des.Simulation
+
+	cells []*cell
+
+	streams struct {
+		arrival  *des.Stream
+		duration *des.Stream
+		traffic  *des.Stream
+		handover *des.Stream
+	}
+
+	blocksPerPacket   int
+	maxSlotsPerPacket int
+	sessionCounter    int
+
+	totalTimeouts     int64
+	totalFastRecovers int64
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	s := &Simulator{
+		cfg:               cfg,
+		eng:               des.NewSimulation(),
+		blocksPerPacket:   cfg.Channels.Coding.RadioBlocksPerPacket(traffic.PacketSizeBytes),
+		maxSlotsPerPacket: radio.MaxSlotsPerMobile,
+	}
+	if s.blocksPerPacket < 1 {
+		return nil, fmt.Errorf("%w: coding scheme %v yields no radio blocks", ErrInvalidConfig, cfg.Channels.Coding)
+	}
+
+	s.streams.arrival = des.NewStream(cfg.Seed*4 + 1)
+	s.streams.duration = des.NewStream(cfg.Seed*4 + 2)
+	s.streams.traffic = des.NewStream(cfg.Seed*4 + 3)
+	s.streams.handover = des.NewStream(cfg.Seed*4 + 4)
+
+	s.cells = make([]*cell, cfg.Topology.NumCells())
+	for i := range s.cells {
+		s.cells[i] = &cell{id: i, sim: s}
+	}
+	return s, nil
+}
+
+// Config returns the (defaulted) configuration of the simulator.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// MidCell returns the index of the measured cell.
+func (s *Simulator) MidCell() int { return cluster.MidCell }
+
+func (s *Simulator) now() float64 { return s.eng.Now() }
+
+// schedule registers an action after the given delay and returns its event
+// handle. Delays are always non-negative in this package, so scheduling
+// cannot fail; a nil handle is returned only for a nil action.
+func (s *Simulator) schedule(delay float64, action func()) *des.Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev, err := s.eng.ScheduleAfter(delay, action)
+	if err != nil {
+		return nil
+	}
+	return ev
+}
+
+// Run executes warm-up plus the measurement period and returns the mid-cell
+// results.
+func (s *Simulator) Run() (Results, error) {
+	rates := struct {
+		gsm  float64
+		gprs float64
+	}{
+		gsm:  (1 - s.cfg.GPRSFraction) * s.cfg.TotalCallRate,
+		gprs: s.cfg.GPRSFraction * s.cfg.TotalCallRate,
+	}
+
+	for _, c := range s.cells {
+		if rates.gsm > 0 {
+			s.scheduleNextGSMArrival(c, rates.gsm)
+		}
+		if rates.gprs > 0 {
+			s.scheduleNextGPRSArrival(c, rates.gprs)
+		}
+	}
+
+	warmupEnd := s.cfg.WarmupSec
+	s.eng.RunUntil(warmupEnd)
+
+	mid := s.cells[cluster.MidCell]
+	acc := newBatchAccumulator(s.cfg.ConfidenceLevel)
+	snap := mid.resetBatchWindow(s.now())
+	warmStart := mid.snapshot()
+	handoversInStart := mid.handoversIn
+	handoversOutStart := mid.handoversOut
+
+	batchDur := s.cfg.MeasurementSec / float64(s.cfg.Batches)
+	for b := 1; b <= s.cfg.Batches; b++ {
+		s.eng.RunUntil(warmupEnd + float64(b)*batchDur)
+		mid.finishBatch(acc, snap, s.now(), batchDur)
+		snap = mid.resetBatchWindow(s.now())
+	}
+
+	res := acc.results()
+	final := mid.snapshot()
+	res.PacketsOffered = final.offered - warmStart.offered
+	res.PacketsLost = final.lost - warmStart.lost
+	res.PacketsDelivered = final.delivered - warmStart.delivered
+	res.HandoversIn = mid.handoversIn - handoversInStart
+	res.HandoversOut = mid.handoversOut - handoversOutStart
+	res.TCPTimeouts = s.totalTimeouts
+	res.TCPFastRecovers = s.totalFastRecovers
+	res.SimulatedSec = s.cfg.MeasurementSec
+	res.Events = s.eng.ProcessedEvents()
+	return res, nil
+}
+
+// scheduleNextGSMArrival arms the Poisson arrival process of fresh GSM calls
+// in a cell.
+func (s *Simulator) scheduleNextGSMArrival(c *cell, rate float64) {
+	gap := s.streams.arrival.Exponential(1 / rate)
+	s.schedule(gap, func() {
+		s.gsmArrival(c)
+		s.scheduleNextGSMArrival(c, rate)
+	})
+}
+
+// scheduleNextGPRSArrival arms the Poisson arrival process of fresh GPRS
+// session requests in a cell.
+func (s *Simulator) scheduleNextGPRSArrival(c *cell, rate float64) {
+	gap := s.streams.arrival.Exponential(1 / rate)
+	s.schedule(gap, func() {
+		s.gprsArrival(c)
+		s.scheduleNextGPRSArrival(c, rate)
+	})
+}
+
+// gsmArrival handles a fresh GSM voice call in a cell.
+func (s *Simulator) gsmArrival(c *cell) {
+	c.gsmArrivals++
+	if !c.canAdmitVoice() {
+		c.gsmBlocked++
+		return
+	}
+	c.addVoice()
+	call := &voiceCall{cellID: c.id}
+	duration := s.streams.duration.Exponential(s.cfg.GSMCallDurationSec)
+	call.departEv = s.schedule(duration, func() { s.voiceDeparture(call) })
+	s.scheduleVoiceHandover(call)
+}
+
+// voiceDeparture completes a voice call.
+func (s *Simulator) voiceDeparture(call *voiceCall) {
+	s.cells[call.cellID].removeVoice()
+	call.handoverEv.Cancel()
+}
+
+// scheduleVoiceHandover arms the dwell-time timer of a voice call.
+func (s *Simulator) scheduleVoiceHandover(call *voiceCall) {
+	dwell := s.streams.handover.Exponential(s.cfg.GSMDwellTimeSec)
+	call.handoverEv = s.schedule(dwell, func() { s.voiceHandover(call) })
+}
+
+// voiceHandover moves a voice call to a neighbouring cell; if the target has
+// no free traffic channel the call is dropped (handover failure).
+func (s *Simulator) voiceHandover(call *voiceCall) {
+	old := s.cells[call.cellID]
+	targetID := s.cfg.Topology.HandoverTarget(call.cellID, s.streams.handover.Intn)
+	if targetID < 0 {
+		s.scheduleVoiceHandover(call)
+		return
+	}
+	target := s.cells[targetID]
+	old.handoversOut++
+	old.removeVoice()
+	if !target.canAdmitVoice() {
+		call.departEv.Cancel()
+		return
+	}
+	target.addVoice()
+	target.handoversIn++
+	call.cellID = targetID
+	s.scheduleVoiceHandover(call)
+}
+
+// gprsArrival handles a fresh GPRS session request in a cell.
+func (s *Simulator) gprsArrival(c *cell) {
+	c.gprsArrivals++
+	if !c.canAdmitSession() {
+		c.gprsBlocked++
+		return
+	}
+	c.addSession()
+	s.sessionCounter++
+	sess := &session{id: s.sessionCounter, cellID: c.id, sim: s}
+	sess.scheduleHandover()
+	sess.start()
+}
+
+// onPacketDelivered forwards a delivered TCP segment to its connection.
+func (s *Simulator) onPacketDelivered(p *packet, at float64) {
+	p.conn.onDelivered(p.seq, at)
+}

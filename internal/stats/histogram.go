@@ -1,0 +1,149 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-width bin histogram over [min, max). Observations
+// outside the range are counted in underflow/overflow buckets.
+type Histogram struct {
+	min, max float64
+	width    float64
+	bins     []int64
+	under    int64
+	over     int64
+	total    int64
+	sum      float64
+}
+
+// NewHistogram returns a histogram with the given number of equal-width bins
+// covering [min, max). It returns nil if the parameters are invalid.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || max <= min {
+		return nil
+	}
+	return &Histogram{
+		min:   min,
+		max:   max,
+		width: (max - min) / float64(bins),
+		bins:  make([]int64, bins),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.min:
+		h.under++
+	case x >= h.max:
+		h.over++
+	default:
+		idx := int((x - h.min) / h.width)
+		if idx >= len(h.bins) {
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range ones.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 {
+	if i < 0 || i >= len(h.bins) {
+		return 0
+	}
+	return h.bins[i]
+}
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.min + (float64(i)+0.5)*h.width
+}
+
+// Underflow returns the count of observations below the histogram range.
+func (h *Histogram) Underflow() int64 { return h.under }
+
+// Overflow returns the count of observations at or above the histogram range.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// Quantile returns an approximation of the q-quantile (0 < q < 1) assuming
+// observations are uniformly distributed within each bin. Out-of-range
+// observations are attributed to the range boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if cum >= target {
+		return h.min
+	}
+	for i, c := range h.bins {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.min + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// RelativeFrequency returns the fraction of in-range observations in bin i.
+func (h *Histogram) RelativeFrequency(i int) float64 {
+	inRange := h.total - h.under - h.over
+	if inRange == 0 {
+		return 0
+	}
+	return float64(h.Bin(i)) / float64(inRange)
+}
+
+// MeanAbsoluteError returns the mean absolute difference between two series;
+// it is a convenience helper for validation comparisons and returns NaN when
+// the series lengths differ or are empty.
+func MeanAbsoluteError(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// MaxRelativeError returns max_i |a_i-b_i| / max(|b_i|, eps); it is used to
+// compare analytical and simulated performance curves.
+func MaxRelativeError(a, b []float64, eps float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var worst float64
+	for i := range a {
+		den := math.Abs(b[i])
+		if den < eps {
+			den = eps
+		}
+		rel := math.Abs(a[i]-b[i]) / den
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h == nil {
+		t.Fatal("NewHistogram returned nil for valid parameters")
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // underflow
+	h.Add(11) // overflow
+	if h.Count() != 12 {
+		t.Errorf("count = %d, want 12", h.Count())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Underflow(), h.Overflow())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Bin(i))
+		}
+	}
+	if h.NumBins() != 10 {
+		t.Errorf("NumBins = %d, want 10", h.NumBins())
+	}
+	if !almostEqual(h.BinCenter(0), 0.5, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 0.5", h.BinCenter(0))
+	}
+	if !almostEqual(h.RelativeFrequency(3), 0.1, 1e-12) {
+		t.Errorf("RelativeFrequency(3) = %v, want 0.1", h.RelativeFrequency(3))
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if NewHistogram(5, 5, 10) != nil {
+		t.Error("expected nil for max <= min")
+	}
+	if NewHistogram(0, 1, 0) != nil {
+		t.Error("expected nil for zero bins")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if math.Abs(med-50) > 2 {
+		t.Errorf("median = %v, want approx 50", med)
+	}
+	if h.Quantile(0) != 0 {
+		t.Errorf("Quantile(0) = %v, want range min", h.Quantile(0))
+	}
+	if h.Quantile(1) != 100 {
+		t.Errorf("Quantile(1) = %v, want range max", h.Quantile(1))
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		h := NewHistogram(0, 1, 20)
+		x := float64(seed%997) / 997
+		for i := 0; i < 50; i++ {
+			x = math.Mod(x*1103515245+12345, 1)
+			if x < 0 {
+				x = -x
+			}
+			h.Add(x)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			v := h.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAbsoluteError(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 3, 5}
+	if got := MeanAbsoluteError(a, b); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if !math.IsNaN(MeanAbsoluteError(a, []float64{1})) {
+		t.Error("length mismatch should return NaN")
+	}
+	if !math.IsNaN(MeanAbsoluteError(nil, nil)) {
+		t.Error("empty input should return NaN")
+	}
+}
+
+func TestMaxRelativeError(t *testing.T) {
+	a := []float64{1.1, 2.0}
+	b := []float64{1.0, 2.0}
+	got := MaxRelativeError(a, b, 1e-9)
+	if !almostEqual(got, 0.1, 1e-9) {
+		t.Errorf("max rel err = %v, want 0.1", got)
+	}
+	// Near-zero reference uses eps floor.
+	got = MaxRelativeError([]float64{0.01}, []float64{0}, 0.1)
+	if !almostEqual(got, 0.1, 1e-9) {
+		t.Errorf("eps-floored rel err = %v, want 0.1", got)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import "math"
+
+// TQuantile returns the two-sided Student-t critical value t_{df, 1-alpha/2},
+// i.e. the value q such that P(|T_df| <= q) = 1 - alpha. It is used to build
+// confidence intervals from batch means.
+//
+// The implementation inverts the regularized incomplete beta function via
+// bisection on the t CDF; accuracy is far better than needed for confidence
+// intervals (absolute error < 1e-8).
+func TQuantile(df int, alpha float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	if alpha >= 1 {
+		return 0
+	}
+	target := 1 - alpha/2
+	// The t CDF is monotonically increasing; bracket the quantile and bisect.
+	lo, hi := 0.0, 1.0
+	for tCDF(hi, df) < target {
+		hi *= 2
+		if hi > 1e8 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if tCDF(mid, df) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// tCDF returns P(T_df <= x) for the Student-t distribution with df degrees of
+// freedom.
+func tCDF(x float64, df int) float64 {
+	if x == 0 {
+		return 0.5
+	}
+	v := float64(df)
+	ib := regIncBeta(v/2, 0.5, v/(v+x*x))
+	if x > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x)
+	}
+	// Use the symmetry relation for better convergence.
+	frontSym := math.Exp(math.Log(1-x)*b+math.Log(x)*a+lbeta) / b
+	return 1 - frontSym*betaCF(b, a, 1-x)
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,63 @@
+package stats
+
+// TimeWeighted accumulates a piecewise-constant state variable (for example a
+// queue length or the number of busy channels) and reports its time average.
+//
+// Call Update(t, v) whenever the variable changes value; the variable is
+// assumed to hold its previous value on [lastT, t). The zero value is ready
+// to use and starts measuring at time 0 with value 0; use Start to begin at a
+// different origin (e.g. after a warm-up period).
+type TimeWeighted struct {
+	started  bool
+	startT   float64
+	lastT    float64
+	lastV    float64
+	integral float64
+	maxV     float64
+}
+
+// Start begins the measurement interval at time t with current value v,
+// discarding anything accumulated so far.
+func (tw *TimeWeighted) Start(t, v float64) {
+	*tw = TimeWeighted{started: true, startT: t, lastT: t, lastV: v, maxV: v}
+}
+
+// Update advances the clock to time t and records that the variable now holds
+// value v. Calls with t earlier than the previous update are ignored except
+// for recording the new value.
+func (tw *TimeWeighted) Update(t, v float64) {
+	if !tw.started {
+		tw.Start(0, 0)
+	}
+	if t > tw.lastT {
+		tw.integral += tw.lastV * (t - tw.lastT)
+		tw.lastT = t
+	}
+	tw.lastV = v
+	if v > tw.maxV {
+		tw.maxV = v
+	}
+}
+
+// Mean returns the time average of the variable over [start, t], advancing the
+// accumulated integral to time t first.
+func (tw *TimeWeighted) Mean(t float64) float64 {
+	if !tw.started {
+		return 0
+	}
+	if t > tw.lastT {
+		tw.integral += tw.lastV * (t - tw.lastT)
+		tw.lastT = t
+	}
+	elapsed := tw.lastT - tw.startT
+	if elapsed <= 0 {
+		return tw.lastV
+	}
+	return tw.integral / elapsed
+}
+
+// Current returns the value recorded by the most recent update.
+func (tw *TimeWeighted) Current() float64 { return tw.lastV }
+
+// Max returns the largest value observed since Start.
+func (tw *TimeWeighted) Max() float64 { return tw.maxV }
