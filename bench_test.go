@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -247,6 +248,26 @@ func BenchmarkGeneratorConstruction(b *testing.B) {
 		if _, err := model.BuildGenerator(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkReplicatedSimulator measures the replication engine: 8
+// independent replications of a short quick-fidelity run fanned out across
+// all CPUs and merged into cross-replication confidence intervals.
+func BenchmarkReplicatedSimulator(b *testing.B) {
+	cfg := sim.DefaultConfig(traffic.Model3, 0.5)
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	cfg.MaxSessions = 10
+	cfg.WarmupSec = 200
+	cfg.MeasurementSec = 1000
+	cfg.Batches = 5
+	for i := 0; i < b.N; i++ {
+		sum, err := runner.Run(cfg, runner.Options{Replications: 8, BaseSeed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sum.Merged.Events)/float64(sum.Merged.SimulatedSec), "events/simulated-s")
 	}
 }
 

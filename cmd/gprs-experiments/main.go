@@ -1,11 +1,16 @@
 // Command gprs-experiments regenerates the tables and figures of the paper's
-// evaluation section and writes one CSV file per figure.
+// evaluation section and writes one CSV file per figure. Figures, sweep
+// points, and simulator replications all run concurrently under one global
+// -workers bound; simulator series carry cross-replication confidence
+// intervals from -replications independent runs seeded from -seed. Progress
+// is reported on stderr.
 //
 // Examples:
 //
 //	gprs-experiments                      # quick fidelity, every figure
 //	gprs-experiments -full -out results   # paper-resolution sweep
 //	gprs-experiments -figure fig12        # a single figure
+//	gprs-experiments -figure fig6 -replications 8 -workers 4
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -30,22 +36,33 @@ func run(args []string) error {
 		full    = fs.Bool("full", false, "run the paper-resolution parameter setting (slow)")
 		figure  = fs.String("figure", "all", "figure to regenerate: all, tables, fig5 ... fig15")
 		outDir  = fs.String("out", "results", "directory for CSV output")
-		workers = fs.Int("workers", 0, "concurrent model solutions (0 = NumCPU)")
+		workers = fs.Int("workers", 0, "concurrent model solutions and simulator runs (0 = NumCPU)")
 		noSim   = fs.Bool("no-sim", false, "skip the detailed-simulator series of figs 5 and 6")
 		tol     = fs.Float64("tol", 0, "steady-state solver tolerance (0 = default)")
+		reps    = fs.Int("replications", 0, "independent simulator replications per point (0 = fidelity default)")
+		seed    = fs.Int64("seed", 1, "base seed of the simulator replications")
+		quiet   = fs.Bool("quiet", false, "suppress progress output on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	start := time.Now()
 	opts := experiments.Options{
 		Fidelity:       experiments.Quick,
 		Workers:        *workers,
 		WithSimulation: !*noSim,
 		Tolerance:      *tol,
+		Replications:   *reps,
+		SimSeed:        *seed,
 	}
 	if *full {
 		opts.Fidelity = experiments.Full
+	}
+	if !*quiet {
+		opts.Progress = func(msg string) {
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
+		}
 	}
 
 	if *figure == "tables" || *figure == "all" {
@@ -70,7 +87,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d CSV files to %s\n", len(paths), *outDir)
+	fmt.Printf("wrote %d CSV files to %s in %.1fs\n", len(paths), *outDir, time.Since(start).Seconds())
 	return nil
 }
 

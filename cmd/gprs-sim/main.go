@@ -1,10 +1,15 @@
 // Command gprs-sim runs the detailed network-level GPRS simulator (seven-cell
 // cluster, TDMA-block transmission, TCP flow control) and prints the mid-cell
-// measures with 95% batch-means confidence intervals.
+// measures with 95% confidence intervals. With -replications R > 1 the run
+// fans R independent replications (seeded from disjoint substreams of -seed)
+// out across -workers CPUs and reports cross-replication intervals; the
+// merged results are bit-identical for a given (seed, replications) pair
+// regardless of the worker count.
 //
-// Example:
+// Examples:
 //
 //	gprs-sim -model 3 -rate 0.5 -pdch 1 -measure 20000
+//	gprs-sim -rate 0.5 -replications 8 -workers 4
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -34,7 +40,9 @@ func run(args []string) error {
 		warmup  = fs.Float64("warmup", 2000, "warm-up time discarded before measuring (s)")
 		measure = fs.Float64("measure", 20000, "measured simulation time (s)")
 		batches = fs.Int("batches", 10, "number of batch-means batches")
-		seed    = fs.Int64("seed", 1, "random seed")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		reps    = fs.Int("replications", 1, "independent replications to run and merge")
+		workers = fs.Int("workers", 0, "concurrent replications (0 = NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,16 +57,36 @@ func run(args []string) error {
 	cfg.Batches = *batches
 	cfg.Seed = *seed
 
-	s, err := sim.New(cfg)
+	if *reps < 1 {
+		*reps = 1
+	}
+	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d reserved PDCHs, TCP %v, %d replication(s)...\n",
+		traffic.Model(*modelID), *rate, *pdch, cfg.EnableTCP, *reps)
+
+	if *reps <= 1 {
+		s, err := sim.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.String())
+		return nil
+	}
+
+	sum, err := runner.Run(cfg, runner.Options{
+		Replications: *reps,
+		Workers:      *workers,
+		BaseSeed:     *seed,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "replication %d/%d done\n", done, total)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d reserved PDCHs, TCP %v...\n",
-		traffic.Model(*modelID), *rate, *pdch, cfg.EnableTCP)
-	res, err := s.Run()
-	if err != nil {
-		return err
-	}
-	fmt.Print(res.String())
+	fmt.Print(sum.String())
 	return nil
 }

@@ -3,8 +3,10 @@
 // continuous-time Markov chain model of the radio interface of an integrated
 // GSM/GPRS cell, the substrates it relies on (Erlang loss systems, the 3GPP
 // packet-session traffic model, the radio interface abstraction, a sparse
-// CTMC solver), and the detailed network-level discrete-event simulator with
-// TCP flow control used to validate the model.
+// CTMC solver), the detailed network-level discrete-event simulator with
+// TCP flow control used to validate the model, and a parallel replication
+// engine (internal/runner) that merges independent simulator runs into
+// cross-replication confidence intervals.
 //
 // The implementation lives under internal/; the runnable entry points are the
 // commands under cmd/ and the examples under examples/. The benchmark harness

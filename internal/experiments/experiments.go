@@ -4,6 +4,14 @@
 // sweeping the analytical model (and, for the validation figures, the
 // detailed simulator) over the paper's parameter grid.
 //
+// All levels of the reproduction parallelize under one worker bound: figures
+// run concurrently inside AllFigures, the model solutions of each figure's
+// sweep run concurrently, and every simulator point runs Options.Replications
+// independent replications concurrently through the runner package. A shared
+// runner.Limiter keeps the total number of in-flight CPU-bound tasks at
+// Options.Workers, and every fan-out writes results into pre-indexed slots,
+// so the produced figures are identical regardless of the worker count.
+//
 // Two fidelity levels are supported. Full reproduces the paper's parameter
 // setting (Table 2: 20 channels, K = 100, the Table 3 session limits) and is
 // meant for the command-line harness, where a figure takes minutes to hours
@@ -23,7 +31,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctmc"
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -68,11 +78,30 @@ type Options struct {
 	// (Fig. 5 and Fig. 6). It is implied for those figures; setting it false
 	// skips the simulator to keep benchmark runs fast.
 	WithSimulation bool
-	// SimSeed seeds the simulator runs.
+	// SimSeed is the base seed of the simulator replications; replication i
+	// of every point runs with runner.SeedFor(SimSeed, i).
 	SimSeed int64
 	// SimMeasurementSec overrides the simulated measurement time per point;
 	// the zero value means 4000 s for Quick and 20000 s for Full.
 	SimMeasurementSec float64
+	// Replications is the number of independent simulator replications per
+	// validation point; the confidence half-widths of simulator series come
+	// from across the replications. The zero value means 3 for Quick and 5
+	// for Full.
+	Replications int
+	// Progress, when non-nil, receives one human-readable line per completed
+	// unit of work (a finished figure, a simulated point). Calls are
+	// serialized but may arrive in any order.
+	Progress func(msg string)
+
+	// limiter is the shared semaphore bounding the number of concurrently
+	// active model solutions and simulator runs across every level of
+	// parallelism (figures, points, replications). withDefaults installs one
+	// sized Workers; AllFigures hands the same limiter to all figures.
+	limiter *runner.Limiter
+	// progressMu serializes Progress calls across all levels of parallelism
+	// that share this Options value; installed by withDefaults.
+	progressMu *sync.Mutex
 }
 
 func (o Options) withDefaults() Options {
@@ -101,7 +130,32 @@ func (o Options) withDefaults() Options {
 			o.SimMeasurementSec = 4000
 		}
 	}
+	if o.Replications <= 0 {
+		if o.Fidelity == Full {
+			o.Replications = 5
+		} else {
+			o.Replications = 3
+		}
+	}
+	if o.limiter == nil {
+		o.limiter = runner.NewLimiter(o.Workers)
+	}
+	if o.progressMu == nil {
+		o.progressMu = &sync.Mutex{}
+	}
 	return o
+}
+
+// progress emits one progress line if a callback is installed. Calls are
+// serialized across every fan-out sharing this Options value.
+func (o Options) progress(format string, args ...any) {
+	if o.Progress == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	o.progressMu.Lock()
+	defer o.progressMu.Unlock()
+	o.Progress(msg)
 }
 
 // Series is one curve of a figure: a performance measure versus the total
@@ -198,55 +252,71 @@ type sweepJob struct {
 	point  int
 }
 
-// sweep solves a grid of configurations concurrently and fills the target
-// figure series through the extract callback.
+// sweep solves a grid of configurations concurrently — bounded by the shared
+// limiter so nested figure-level parallelism cannot oversubscribe the CPU —
+// and fills the target figure series through the extract callback. Each job
+// writes to its own (series, point) slot, so the filled series do not depend
+// on the schedule.
 func sweep(jobs []sweepJob, o Options, extract func(core.Measures) float64, series []Series) error {
-	type outcome struct {
-		job sweepJob
-		val float64
-		err error
-	}
-	jobCh := make(chan sweepJob)
-	outCh := make(chan outcome)
-
-	workers := o.Workers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range jobCh {
-				meas, err := solvePoint(job.cfg, o)
-				outCh <- outcome{job: job, val: extract(meas), err: err}
-			}
-		}()
-	}
-	go func() {
-		for _, job := range jobs {
-			jobCh <- job
+	return runner.ForEach(o.limiter, len(jobs), func(k int) error {
+		job := jobs[k]
+		meas, err := solvePoint(job.cfg, o)
+		if err != nil {
+			return err
 		}
-		close(jobCh)
-		wg.Wait()
-		close(outCh)
-	}()
+		series[job.series].Y[job.point] = extract(meas)
+		return nil
+	})
+}
 
-	var firstErr error
-	for out := range outCh {
-		if out.err != nil {
-			if firstErr == nil {
-				firstErr = out.err
-			}
-			continue
+// simulateSweep runs the replicated detailed simulator over the rate grid and
+// returns one merged summary per point. Points run concurrently and each
+// point's replications run concurrently, all bounded by the shared limiter;
+// the outer fan-outs hold no limiter tokens themselves, so nesting cannot
+// deadlock. mutate, when non-nil, adjusts the per-point configuration (e.g.
+// the GPRS fraction). The summaries are bit-identical for a given (SimSeed,
+// Replications) regardless of the worker count.
+func simulateSweep(o Options, figID string, model traffic.Model, rates []float64, mutate func(*sim.Config)) ([]runner.Summary, error) {
+	sums := make([]runner.Summary, len(rates))
+	var mu sync.Mutex
+	done := 0
+	err := runner.ForEach(nil, len(rates), func(i int) error {
+		cfg := simConfig(o, model, rates[i])
+		if mutate != nil {
+			mutate(&cfg)
 		}
-		series[out.job.series].Y[out.job.point] = out.val
+		sum, err := runner.Run(cfg, runner.Options{
+			Replications:    o.Replications,
+			BaseSeed:        o.SimSeed,
+			ConfidenceLevel: cfg.ConfidenceLevel,
+			Limiter:         o.limiter,
+		})
+		if err != nil {
+			return fmt.Errorf("simulation at rate %g: %w", rates[i], err)
+		}
+		sums[i] = sum
+		mu.Lock()
+		done++
+		o.progress("%s: simulated point %d/%d (%d replications)", figID, done, len(rates), sum.Replications)
+		mu.Unlock()
+		return nil
+	})
+	return sums, err
+}
+
+// seriesFromSummaries builds a simulator series from per-point summaries: the
+// point estimate is the cross-replication mean and YErr its confidence
+// half-width.
+func seriesFromSummaries(label string, rates []float64, sums []runner.Summary,
+	get func(sim.Results) stats.Interval) Series {
+	s := newSeries(label, rates)
+	s.YErr = make([]float64, len(rates))
+	for i, sum := range sums {
+		iv := get(sum.Merged)
+		s.Y[i] = iv.Mean
+		s.YErr[i] = iv.HalfWidth
 	}
-	return firstErr
+	return s
 }
 
 // newSeries allocates a series with the given label over the x grid.

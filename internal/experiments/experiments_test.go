@@ -4,9 +4,13 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -45,6 +49,12 @@ func TestFidelityAndOptionDefaults(t *testing.T) {
 	if o.Fidelity != Quick || o.Workers <= 0 || o.Tolerance <= 0 {
 		t.Errorf("defaults not applied: %+v", o)
 	}
+	if o.Replications != 3 || o.limiter == nil {
+		t.Errorf("replication defaults not applied: %+v", o)
+	}
+	if full := (Options{Fidelity: Full}).withDefaults(); full.Replications != 5 {
+		t.Errorf("full fidelity should default to 5 replications, got %d", full.Replications)
+	}
 	if Quick.String() != "quick" || Full.String() != "full" {
 		t.Error("fidelity names wrong")
 	}
@@ -72,6 +82,9 @@ func TestBaseConfigScaling(t *testing.T) {
 }
 
 func TestFig5ThresholdCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model sweep too slow for -short mode")
+	}
 	fig, err := Fig5ThresholdCalibration(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -156,6 +169,9 @@ func TestFig7CDTShape(t *testing.T) {
 }
 
 func TestFig8And9MorePDCHsHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model sweeps too slow for -short mode")
+	}
 	o := testOptions()
 	plpFigs, err := Fig8PLP(o)
 	if err != nil {
@@ -183,6 +199,9 @@ func TestFig8And9MorePDCHsHelp(t *testing.T) {
 }
 
 func TestFig10SessionLimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model sweeps too slow for -short mode")
+	}
 	figs, err := Fig10SessionLimit(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +227,9 @@ func TestFig10SessionLimit(t *testing.T) {
 }
 
 func TestFigCDTandATUAcrossFractions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model sweeps too slow for -short mode")
+	}
 	o := testOptions()
 	figs11, err := Fig11TwoPercent(o)
 	if err != nil {
@@ -240,6 +262,9 @@ func TestFigCDTandATUAcrossFractions(t *testing.T) {
 }
 
 func TestFig14VoiceImpact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model sweeps too slow for -short mode")
+	}
 	figs, err := Fig14VoiceImpact(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -265,6 +290,9 @@ func TestFig14VoiceImpact(t *testing.T) {
 }
 
 func TestFig15GPRSPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model sweeps too slow for -short mode")
+	}
 	figs, err := Fig15GPRSPopulation(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -280,6 +308,56 @@ func TestFig15GPRSPopulation(t *testing.T) {
 	last := len(series["2% GPRS users"]) - 1
 	if series["10% GPRS users"][last] <= series["2% GPRS users"][last] {
 		t.Error("10% GPRS users should yield more active sessions than 2%")
+	}
+}
+
+func TestSimulateSweepReplicatedAndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	o := testOptions()
+	o.Replications = 2
+	o.SimMeasurementSec = 300
+	rates := []float64{0.3, 0.6}
+
+	var mu sync.Mutex
+	var progress []string
+	run := func(workers int, record bool) []Series {
+		opts := o
+		opts.Workers = workers
+		if record {
+			opts.Progress = func(msg string) {
+				mu.Lock()
+				defer mu.Unlock()
+				progress = append(progress, msg)
+			}
+		}
+		opts = opts.withDefaults()
+		sums, err := simulateSweep(opts, "test", traffic.Model3, rates, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		series := []Series{
+			seriesFromSummaries("plp", rates, sums,
+				func(r sim.Results) stats.Interval { return r.PacketLossProbability }),
+			seriesFromSummaries("cdt", rates, sums,
+				func(r sim.Results) stats.Interval { return r.CarriedDataTraffic }),
+		}
+		if got := sums[0].Merged.CarriedDataTraffic.Batches; got != 2 {
+			t.Fatalf("interval should span the 2 replications, got %d", got)
+		}
+		return series
+	}
+
+	one := run(1, true)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers, false); !reflect.DeepEqual(got, one) {
+			t.Errorf("workers=%d produced different series than workers=1:\n%+v\nvs\n%+v",
+				workers, got, one)
+		}
+	}
+	if len(progress) != len(rates) {
+		t.Errorf("expected one progress line per point, got %v", progress)
 	}
 }
 
@@ -343,6 +421,9 @@ func TestWriteCSV(t *testing.T) {
 }
 
 func TestSolverAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver comparison too slow for -short mode")
+	}
 	got, err := SolverAblation(Options{Tolerance: 1e-6})
 	if err != nil {
 		t.Fatal(err)

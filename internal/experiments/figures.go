@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -36,34 +39,14 @@ func Fig5ThresholdCalibration(o Options) (Figure, error) {
 		return fig, err
 	}
 	if o.WithSimulation {
-		simSeries, err := simulatePLP(o, rates)
+		sums, err := simulateSweep(o, fig.ID, traffic.Model3, rates, nil)
 		if err != nil {
 			return fig, err
 		}
-		fig.Series = append(fig.Series, simSeries)
+		fig.Series = append(fig.Series, seriesFromSummaries("simulation (TCP)", rates, sums,
+			func(r sim.Results) stats.Interval { return r.PacketLossProbability }))
 	}
 	return fig, nil
-}
-
-// simulatePLP runs the detailed simulator (with TCP) over the rate grid and
-// returns the PLP series with confidence half-widths.
-func simulatePLP(o Options, rates []float64) (Series, error) {
-	s := newSeries("simulation (TCP)", rates)
-	s.YErr = make([]float64, len(rates))
-	for i, rate := range rates {
-		cfg := simConfig(o, traffic.Model3, rate)
-		simulator, err := sim.New(cfg)
-		if err != nil {
-			return s, err
-		}
-		res, err := simulator.Run()
-		if err != nil {
-			return s, err
-		}
-		s.Y[i] = res.PacketLossProbability.Mean
-		s.YErr[i] = res.PacketLossProbability.HalfWidth
-	}
-	return s, nil
 }
 
 // Fig6Validation reproduces Fig. 6: carried data traffic and throughput per
@@ -107,29 +90,29 @@ func Fig6Validation(o Options) ([]Figure, error) {
 	}
 
 	if o.WithSimulation {
-		for _, f := range fractions {
-			cdtSim := newSeries(fmt.Sprintf("simulation, %d%% GPRS users", int(f*100)), rates)
-			atuSim := newSeries(fmt.Sprintf("simulation, %d%% GPRS users", int(f*100)), rates)
-			cdtSim.YErr = make([]float64, len(rates))
-			atuSim.YErr = make([]float64, len(rates))
-			for i, rate := range rates {
-				cfg := simConfig(o, traffic.Model3, rate)
-				cfg.GPRSFraction = f
-				simulator, err := sim.New(cfg)
-				if err != nil {
-					return nil, err
-				}
-				res, err := simulator.Run()
-				if err != nil {
-					return nil, err
-				}
-				cdtSim.Y[i] = res.CarriedDataTraffic.Mean
-				cdtSim.YErr[i] = res.CarriedDataTraffic.HalfWidth
-				atuSim.Y[i] = res.ThroughputPerUserBits.Mean
-				atuSim.YErr[i] = res.ThroughputPerUserBits.HalfWidth
-			}
-			cdt.Series = append(cdt.Series, cdtSim)
-			atu.Series = append(atu.Series, atuSim)
+		// The fractions fan out concurrently on top of the per-point and
+		// per-replication parallelism inside simulateSweep; the shared limiter
+		// keeps the number of active simulator runs bounded. Series are
+		// appended in fraction order afterwards, so the figure layout does not
+		// depend on completion order.
+		perFraction := make([][]runner.Summary, len(fractions))
+		err := runner.ForEach(nil, len(fractions), func(fi int) error {
+			tag := fmt.Sprintf("%s (%d%% GPRS)", cdt.ID, int(fractions[fi]*100))
+			sums, err := simulateSweep(o, tag, traffic.Model3, rates, func(cfg *sim.Config) {
+				cfg.GPRSFraction = fractions[fi]
+			})
+			perFraction[fi] = sums
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for fi, f := range fractions {
+			label := fmt.Sprintf("simulation, %d%% GPRS users", int(f*100))
+			cdt.Series = append(cdt.Series, seriesFromSummaries(label, rates, perFraction[fi],
+				func(r sim.Results) stats.Interval { return r.CarriedDataTraffic }))
+			atu.Series = append(atu.Series, seriesFromSummaries(label, rates, perFraction[fi],
+				func(r sim.Results) stats.Interval { return r.ThroughputPerUserBits }))
 		}
 	}
 	return []Figure{cdt, atu}, nil
@@ -398,29 +381,30 @@ func Fig15GPRSPopulation(o Options) ([]Figure, error) {
 	return []Figure{ags, blocking}, nil
 }
 
-// AllFigures regenerates every figure of the evaluation section in order.
+// AllFigures regenerates every figure of the evaluation section. The figure
+// generators run concurrently — on top of the point- and replication-level
+// parallelism inside each — while the shared limiter keeps the number of
+// active model solutions and simulator runs at the configured worker bound.
+// The returned figures are collected in the paper's order and the reported
+// error is that of the earliest failing figure, so neither depends on the
+// schedule.
 func AllFigures(o Options) ([]Figure, error) {
 	o = o.withDefaults()
-	var figs []Figure
 
-	fig5, err := Fig5ThresholdCalibration(o)
-	if err != nil {
-		return figs, fmt.Errorf("fig 5: %w", err)
-	}
-	figs = append(figs, fig5)
-
-	appendAll := func(name string, f func(Options) ([]Figure, error)) error {
-		got, err := f(o)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+	single := func(f func(Options) (Figure, error)) func(Options) ([]Figure, error) {
+		return func(o Options) ([]Figure, error) {
+			fig, err := f(o)
+			if err != nil {
+				return nil, err
+			}
+			return []Figure{fig}, nil
 		}
-		figs = append(figs, got...)
-		return nil
 	}
 	steps := []struct {
 		name string
 		fn   func(Options) ([]Figure, error)
 	}{
+		{"fig 5", single(Fig5ThresholdCalibration)},
 		{"fig 6", Fig6Validation},
 		{"fig 7", Fig7CDT},
 		{"fig 8", Fig8PLP},
@@ -432,10 +416,26 @@ func AllFigures(o Options) ([]Figure, error) {
 		{"fig 14", Fig14VoiceImpact},
 		{"fig 15", Fig15GPRSPopulation},
 	}
-	for _, step := range steps {
-		if err := appendAll(step.name, step.fn); err != nil {
-			return figs, err
+
+	perStep := make([][]Figure, len(steps))
+	var mu sync.Mutex
+	done := 0
+	err := runner.ForEach(nil, len(steps), func(i int) error {
+		got, err := steps[i].fn(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", steps[i].name, err)
 		}
+		perStep[i] = got
+		mu.Lock()
+		done++
+		o.progress("%s done (%d/%d figure groups)", steps[i].name, done, len(steps))
+		mu.Unlock()
+		return nil
+	})
+
+	var figs []Figure
+	for _, got := range perStep {
+		figs = append(figs, got...)
 	}
-	return figs, nil
+	return figs, err
 }

@@ -1,0 +1,67 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Limiter is a counting semaphore bounding how many tasks run concurrently.
+// One Limiter can be shared across nested fan-outs (figures over points over
+// replications) so the global number of in-flight CPU-bound tasks stays at
+// the configured bound no matter how the work is structured. Tasks must not
+// hold a token while waiting for other tasks to acquire one; outer loops of a
+// nested fan-out therefore run unbounded (ForEach with a nil limiter) and
+// only the leaf work acquires tokens.
+type Limiter struct {
+	tokens chan struct{}
+}
+
+// NewLimiter returns a limiter admitting at most n concurrent holders; n < 1
+// means runtime.NumCPU().
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	return &Limiter{tokens: make(chan struct{}, n)}
+}
+
+// Cap returns the maximum number of concurrent holders.
+func (l *Limiter) Cap() int { return cap(l.tokens) }
+
+// Acquire blocks until a token is available.
+func (l *Limiter) Acquire() { l.tokens <- struct{}{} }
+
+// Release returns a token acquired with Acquire.
+func (l *Limiter) Release() { <-l.tokens }
+
+// ForEach runs fn(i) for every i in [0, n), each call holding one token of
+// the limiter; a nil limiter runs all calls unboundedly (used for outer
+// levels of a nested fan-out, whose leaf work is bounded by a shared
+// limiter). It waits for all calls to finish and returns the error of the
+// lowest failing index, so the reported error does not depend on goroutine
+// scheduling.
+func ForEach(l *Limiter, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if l != nil {
+				l.Acquire()
+				defer l.Release()
+			}
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

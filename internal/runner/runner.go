@@ -1,0 +1,222 @@
+// Package runner fans independent replications of the detailed GPRS
+// simulator out across a bounded worker pool and merges the per-replication
+// results into cross-replication confidence intervals.
+//
+// The replicate-and-aggregate methodology follows standard steady-state
+// simulation practice (and the measurement studies the paper's validation
+// rests on): R statistically independent runs are produced from R disjoint
+// seed substreams derived from one base seed, the point estimate of every
+// performance measure is averaged across the runs, and a Student-t confidence
+// interval is computed over the R replication means. Unlike batch means
+// within a single run, replication means are independent by construction, so
+// the intervals need no warm-up-correlation caveats.
+//
+// Results are bit-identical for a given (base seed, replication count)
+// regardless of the worker count: replication i always uses SeedFor(base, i),
+// results are collected into a slice indexed by replication, and the merge
+// folds them in index order.
+//
+// The package also exposes the generic concurrency primitives the experiment
+// harness shares with the replication engine: Limiter, a counting semaphore
+// that bounds the number of truly active tasks across nested fan-outs, and
+// ForEach, an index-parallel loop with deterministic error selection.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SeedFor derives the seed of replication i from the base seed. The
+// derivation is a SplitMix64 finalization step, so consecutive replication
+// indices land in well-separated regions of the underlying generator's state
+// space rather than on nearby seeds.
+func SeedFor(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Options controls a replicated simulation run.
+type Options struct {
+	// Replications is the number of independent replications R; the zero
+	// value means 1.
+	Replications int
+	// Workers bounds the number of replications simulated concurrently; the
+	// zero value means runtime.NumCPU(). Ignored when Limiter is set.
+	Workers int
+	// BaseSeed is the seed the per-replication substreams are derived from;
+	// the zero value means 1.
+	BaseSeed int64
+	// ConfidenceLevel is the level of the merged intervals; the zero value
+	// means the simulator configuration's level (0.95 if that is unset too).
+	ConfidenceLevel float64
+	// Progress, when non-nil, is called after every completed replication
+	// with the number of finished replications and the total. Calls are
+	// serialized but may arrive in any replication order.
+	Progress func(done, total int)
+	// Limiter, when non-nil, is the shared semaphore replications acquire a
+	// token from instead of a pool-private one. Callers running several
+	// replicated simulations concurrently pass one Limiter so the global
+	// number of in-flight simulator runs stays bounded.
+	Limiter *Limiter
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replications <= 0 {
+		o.Replications = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	return o
+}
+
+// Summary is the outcome of a replicated simulation run.
+type Summary struct {
+	// Merged holds the cross-replication results: every interval is a
+	// Student-t confidence interval over the R replication means (its Batches
+	// field reports R), and the event and packet totals are summed over all
+	// replications. With a single replication Merged is that replication's
+	// result verbatim, batch-means intervals included.
+	Merged sim.Results
+	// Replications is the number of replications merged.
+	Replications int
+	// BaseSeed is the seed the replication substreams were derived from.
+	BaseSeed int64
+	// PerReplication holds the individual replication results in replication
+	// order.
+	PerReplication []sim.Results
+}
+
+// String renders the summary as a small table headed by the replication
+// count.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d replication(s), base seed %d\n", s.Replications, s.BaseSeed)
+	b.WriteString(s.Merged.String())
+	return b.String()
+}
+
+// measures enumerates the interval-valued fields of sim.Results once, so the
+// merge does not hand-copy ten fields.
+var measures = []func(*sim.Results) *stats.Interval{
+	func(r *sim.Results) *stats.Interval { return &r.CarriedDataTraffic },
+	func(r *sim.Results) *stats.Interval { return &r.PacketLossProbability },
+	func(r *sim.Results) *stats.Interval { return &r.QueueingDelay },
+	func(r *sim.Results) *stats.Interval { return &r.ThroughputBits },
+	func(r *sim.Results) *stats.Interval { return &r.ThroughputPerUserBits },
+	func(r *sim.Results) *stats.Interval { return &r.AverageSessions },
+	func(r *sim.Results) *stats.Interval { return &r.CarriedVoiceTraffic },
+	func(r *sim.Results) *stats.Interval { return &r.GSMBlockingProbability },
+	func(r *sim.Results) *stats.Interval { return &r.GPRSBlockingProbability },
+	func(r *sim.Results) *stats.Interval { return &r.MeanQueueLength },
+}
+
+// Merge folds per-replication results into a Summary at the given confidence
+// level. Replications are folded in slice order, so the result is independent
+// of the schedule that produced them. An empty slice yields a zero Summary;
+// a single result is passed through unchanged (batch-means intervals intact).
+func Merge(results []sim.Results, level float64) Summary {
+	s := Summary{
+		Replications:   len(results),
+		PerReplication: results,
+	}
+	if len(results) == 0 {
+		return s
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	s.Merged = results[0]
+	if len(results) == 1 {
+		return s
+	}
+	for _, get := range measures {
+		xs := make([]float64, len(results))
+		for i := range results {
+			xs[i] = get(&results[i]).Mean
+		}
+		*get(&s.Merged) = stats.MeanInterval(xs, level)
+	}
+	s.Merged.PacketsOffered = 0
+	s.Merged.PacketsLost = 0
+	s.Merged.PacketsDelivered = 0
+	s.Merged.HandoversIn = 0
+	s.Merged.HandoversOut = 0
+	s.Merged.TCPTimeouts = 0
+	s.Merged.TCPFastRecovers = 0
+	s.Merged.SimulatedSec = 0
+	s.Merged.Events = 0
+	for i := range results {
+		r := &results[i]
+		s.Merged.PacketsOffered += r.PacketsOffered
+		s.Merged.PacketsLost += r.PacketsLost
+		s.Merged.PacketsDelivered += r.PacketsDelivered
+		s.Merged.HandoversIn += r.HandoversIn
+		s.Merged.HandoversOut += r.HandoversOut
+		s.Merged.TCPTimeouts += r.TCPTimeouts
+		s.Merged.TCPFastRecovers += r.TCPFastRecovers
+		s.Merged.SimulatedSec += r.SimulatedSec
+		s.Merged.Events += r.Events
+	}
+	return s
+}
+
+// Run executes R independent replications of the given simulator
+// configuration (the configuration's own Seed field is ignored; replication i
+// runs with SeedFor(BaseSeed, i)) and merges them. The merged result is
+// bit-identical for a given (BaseSeed, Replications) pair regardless of
+// worker count.
+func Run(cfg sim.Config, o Options) (Summary, error) {
+	o = o.withDefaults()
+	lim := o.Limiter
+	if lim == nil {
+		lim = NewLimiter(o.Workers)
+	}
+
+	level := o.ConfidenceLevel
+	if level <= 0 || level >= 1 {
+		level = cfg.ConfidenceLevel
+	}
+
+	results := make([]sim.Results, o.Replications)
+	var mu sync.Mutex
+	done := 0
+	err := ForEach(lim, o.Replications, func(i int) error {
+		c := cfg
+		c.Seed = SeedFor(o.BaseSeed, i)
+		s, err := sim.New(c)
+		if err != nil {
+			return fmt.Errorf("replication %d: %w", i, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("replication %d: %w", i, err)
+		}
+		results[i] = res
+		if o.Progress != nil {
+			mu.Lock()
+			done++
+			o.Progress(done, o.Replications)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return Summary{}, err
+	}
+	sum := Merge(results, level)
+	sum.BaseSeed = o.BaseSeed
+	return sum, nil
+}

@@ -246,6 +246,9 @@ func TestRingTopologyRuns(t *testing.T) {
 }
 
 func TestMoreReservedPDCHsImproveDataService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation runs skipped in -short mode")
+	}
 	// Under heavy voice load, reserving more PDCHs must not increase the
 	// packet queueing delay (Fig. 9 of the paper).
 	base := quickConfig(false)

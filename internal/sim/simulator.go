@@ -10,8 +10,11 @@ import (
 )
 
 // Simulator runs the detailed network-level model of the GSM/GPRS cluster.
-// Create one with New, run it once with Run; for independent replications
-// create new Simulators with different seeds.
+// Create one with New, run it once with Run. A Simulator is single-use and
+// single-goroutine; for independent replications merged into
+// cross-replication confidence intervals use the runner package, which
+// derives one seed substream per replication and fans the runs out across a
+// worker pool.
 type Simulator struct {
 	cfg Config
 	eng *des.Simulation

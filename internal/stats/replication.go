@@ -1,0 +1,26 @@
+package stats
+
+import "math"
+
+// MeanInterval returns the Student-t confidence interval of the mean of the
+// given independent samples at the given confidence level (e.g. 0.95). It is
+// the estimator behind cross-replication intervals: each sample is the point
+// estimate of one independent simulation replication, so — unlike batch means
+// within a single run — no independence approximation is needed. With fewer
+// than two samples the half-width is +Inf; the interval's Batches field
+// reports the sample count.
+func MeanInterval(xs []float64, level float64) Interval {
+	iv := Interval{Level: level, Batches: len(xs)}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	iv.Mean = w.Mean()
+	if w.Count() < 2 {
+		iv.HalfWidth = math.Inf(1)
+		return iv
+	}
+	t := TQuantile(int(w.Count())-1, 1-level)
+	iv.HalfWidth = t * w.StdDev() / math.Sqrt(float64(w.Count()))
+	return iv
+}
