@@ -9,6 +9,7 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/experiments"
@@ -269,6 +270,59 @@ func BenchmarkReplicatedSimulator(b *testing.B) {
 		}
 		b.ReportMetric(float64(sum.Merged.Events)/float64(sum.Merged.SimulatedSec), "events/simulated-s")
 	}
+}
+
+// shardedBenchConfig is the 19-cell quick-fidelity configuration shared by
+// the serial and sharded variants of BenchmarkShardedSimulator.
+func shardedBenchConfig(b *testing.B, seed int64) sim.Config {
+	b.Helper()
+	topo, err := cluster.Preset(19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(traffic.Model3, 0.5)
+	cfg.Topology = topo
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	cfg.MaxSessions = 10
+	cfg.WarmupSec = 200
+	cfg.MeasurementSec = 1000
+	cfg.Batches = 5
+	cfg.Seed = seed
+	return cfg
+}
+
+// BenchmarkShardedSimulator compares one replication of the 19-cell cluster
+// on the serial single-calendar engine against the sharded engine with 4 cell
+// groups advanced in parallel. Both produce bit-identical results; the
+// sub-benchmark ratio is the shard-level speedup.
+func BenchmarkShardedSimulator(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := sim.New(shardedBenchConfig(b, int64(i+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Events)/float64(res.SimulatedSec), "events/simulated-s")
+		}
+	})
+	b.Run("shards=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := sim.NewSharded(shardedBenchConfig(b, int64(i+1)), sim.ShardedOptions{Shards: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Events)/float64(res.SimulatedSec), "events/simulated-s")
+		}
+	})
 }
 
 // BenchmarkDetailedSimulator measures a short detailed-simulator run with TCP

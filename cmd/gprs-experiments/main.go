@@ -2,8 +2,12 @@
 // evaluation section and writes one CSV file per figure. Figures, sweep
 // points, and simulator replications all run concurrently under one global
 // -workers bound; simulator series carry cross-replication confidence
-// intervals from -replications independent runs seeded from -seed. Progress
-// is reported on stderr.
+// intervals from -replications independent runs seeded from -seed. Overlapping
+// model solutions are memoized across figures. -cells selects the simulated
+// cluster size (7 is the paper's cluster; 19 and 37 are generated wrap-around
+// hex rings) and -shards > 1 runs each simulator replication on the sharded
+// multi-cell engine without changing the results. Progress is reported on
+// stderr.
 //
 // Examples:
 //
@@ -11,6 +15,7 @@
 //	gprs-experiments -full -out results   # paper-resolution sweep
 //	gprs-experiments -figure fig12        # a single figure
 //	gprs-experiments -figure fig6 -replications 8 -workers 4
+//	gprs-experiments -figure fig6 -cells 19 -shards 4
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 )
 
@@ -41,10 +47,20 @@ func run(args []string) error {
 		tol     = fs.Float64("tol", 0, "steady-state solver tolerance (0 = default)")
 		reps    = fs.Int("replications", 0, "independent simulator replications per point (0 = fidelity default)")
 		seed    = fs.Int64("seed", 1, "base seed of the simulator replications")
+		cells   = fs.Int("cells", 0, "simulated cluster size: 0/7 (paper), 19 or 37 (wrap-around hex rings)")
+		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per simulator replication (1 = serial engine)")
 		quiet   = fs.Bool("quiet", false, "suppress progress output on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cells != 0 {
+		// Validate up front: figures solve their full analytical sweeps
+		// before the simulator runs, so a bad cluster size must not surface
+		// only after minutes of wasted model solutions.
+		if _, err := cluster.Preset(*cells); err != nil {
+			return err
+		}
 	}
 
 	start := time.Now()
@@ -55,6 +71,8 @@ func run(args []string) error {
 		Tolerance:      *tol,
 		Replications:   *reps,
 		SimSeed:        *seed,
+		Cells:          *cells,
+		Shards:         *shards,
 	}
 	if *full {
 		opts.Fidelity = experiments.Full

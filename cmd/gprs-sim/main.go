@@ -1,15 +1,19 @@
-// Command gprs-sim runs the detailed network-level GPRS simulator (seven-cell
+// Command gprs-sim runs the detailed network-level GPRS simulator (hexagonal
 // cluster, TDMA-block transmission, TCP flow control) and prints the mid-cell
 // measures with 95% confidence intervals. With -replications R > 1 the run
 // fans R independent replications (seeded from disjoint substreams of -seed)
 // out across -workers CPUs and reports cross-replication intervals; the
 // merged results are bit-identical for a given (seed, replications) pair
-// regardless of the worker count.
+// regardless of the worker count. -cells selects the cluster size (7 is the
+// paper's cluster; 19 and 37 are generated wrap-around hex rings) and
+// -shards > 1 advances cell groups of each replication in parallel
+// conservative time windows — again without changing the results.
 //
 // Examples:
 //
 //	gprs-sim -model 3 -rate 0.5 -pdch 1 -measure 20000
 //	gprs-sim -rate 0.5 -replications 8 -workers 4
+//	gprs-sim -rate 0.5 -cells 19 -shards 4
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -43,12 +48,19 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 1, "base random seed")
 		reps    = fs.Int("replications", 1, "independent replications to run and merge")
 		workers = fs.Int("workers", 0, "concurrent replications (0 = NumCPU)")
+		cells   = fs.Int("cells", 7, "cluster size: 7 (paper), 19 or 37 (wrap-around hex rings)")
+		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per replication (1 = serial engine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	topo, err := cluster.Preset(*cells)
+	if err != nil {
+		return err
+	}
 	cfg := sim.DefaultConfig(traffic.Model(*modelID), *rate)
+	cfg.Topology = topo
 	cfg.Channels.ReservedPDCH = *pdch
 	cfg.GPRSFraction = *gprsPct
 	cfg.EnableTCP = !*tcpOff
@@ -60,15 +72,15 @@ func run(args []string) error {
 	if *reps < 1 {
 		*reps = 1
 	}
-	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d reserved PDCHs, TCP %v, %d replication(s)...\n",
-		traffic.Model(*modelID), *rate, *pdch, cfg.EnableTCP, *reps)
+	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d cells, %d reserved PDCHs, TCP %v, %d replication(s)...\n",
+		traffic.Model(*modelID), *rate, *cells, *pdch, cfg.EnableTCP, *reps)
 
 	if *reps <= 1 {
-		s, err := sim.New(cfg)
-		if err != nil {
-			return err
-		}
-		res, err := s.Run()
+		// A single run bypasses runner.Run deliberately: it uses cfg.Seed
+		// directly (not the SeedFor substream of a base seed) and reports
+		// batch-means intervals, matching the pre-replication-engine
+		// behaviour of this command.
+		res, err := sim.RunOnce(cfg, sim.ShardedOptions{Shards: *shards})
 		if err != nil {
 			return err
 		}
@@ -80,6 +92,7 @@ func run(args []string) error {
 		Replications: *reps,
 		Workers:      *workers,
 		BaseSeed:     *seed,
+		Shards:       *shards,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "replication %d/%d done\n", done, total)
 		},

@@ -52,6 +52,105 @@ func NewHexCluster() *Topology {
 	return &Topology{numCells: n, neighbors: neighbors}
 }
 
+// NewHexRing returns the wrap-around hexagonal cluster with r rings of cells
+// around the mid cell: 3r(r+1)+1 cells (7, 19, 37 for r = 1, 2, 3), cell 0
+// being the mid cell. The cluster is the hexagonal ball of radius r on the
+// triangular lattice, closed toroidally: the ball tiles the plane under the
+// period lattice spanned by the axial vector (r+1, r) and its 60-degree
+// rotation, so a user leaving the cluster re-enters on the far side. Every
+// cell therefore has exactly six neighbours and the topology is
+// vertex-transitive, which makes handover flows balanced in every cell — the
+// generated generalization of the seed seven-cell cluster's wrap-around
+// closure.
+func NewHexRing(r int) (*Topology, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("%w: hex ring needs at least 1 ring, got %d", ErrInvalidTopology, r)
+	}
+	type ax struct{ q, r int }
+	dist := func(a ax) int {
+		d := abs(a.q)
+		if abs(a.r) > d {
+			d = abs(a.r)
+		}
+		if abs(a.q+a.r) > d {
+			d = abs(a.q + a.r)
+		}
+		return d
+	}
+	// Enumerate the ball ring by ring so the mid cell gets index MidCell and
+	// ring k occupies a contiguous index range — the same layout convention as
+	// the seed cluster.
+	var coords []ax
+	for ring := 0; ring <= r; ring++ {
+		for q := -ring; q <= ring; q++ {
+			for rr := -ring; rr <= ring; rr++ {
+				if c := (ax{q, rr}); dist(c) == ring {
+					coords = append(coords, c)
+				}
+			}
+		}
+	}
+	index := make(map[ax]int, len(coords))
+	for i, c := range coords {
+		index[c] = i
+	}
+	// Period lattice: a = (r+1, r) and b = rot60(a) = (-r, 2r+1). Both have
+	// squared hex norm q^2 + qr + r^2 = 3r^2+3r+1 = |ball|, the signature of a
+	// perfect toroidal closure.
+	a := ax{r + 1, r}
+	b := ax{-r, 2*r + 1}
+	canonical := func(c ax) (int, bool) {
+		for m := -2; m <= 2; m++ {
+			for k := -2; k <= 2; k++ {
+				p := ax{c.q - m*a.q - k*b.q, c.r - m*a.r - k*b.r}
+				if dist(p) <= r {
+					return index[p], true
+				}
+			}
+		}
+		return 0, false
+	}
+	directions := []ax{{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1}}
+	neighbors := make([][]int, len(coords))
+	for i, c := range coords {
+		for _, d := range directions {
+			nb, ok := canonical(ax{c.q + d.q, c.r + d.r})
+			if !ok {
+				return nil, fmt.Errorf("%w: no wrap-around image for neighbour of cell %d", ErrInvalidTopology, i)
+			}
+			neighbors[i] = append(neighbors[i], nb)
+		}
+	}
+	t := &Topology{numCells: len(coords), neighbors: neighbors}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Preset returns the topology for a supported cluster size: 7 is the paper's
+// seven-cell hexagonal cluster, 19 and 37 are the generated wrap-around
+// hex-ring clusters (NewHexRing with 2 and 3 rings).
+func Preset(cells int) (*Topology, error) {
+	switch cells {
+	case 7:
+		return NewHexCluster(), nil
+	case 19:
+		return NewHexRing(2)
+	case 37:
+		return NewHexRing(3)
+	default:
+		return nil, fmt.Errorf("%w: unsupported cluster size %d (supported: 7, 19, 37)", ErrInvalidTopology, cells)
+	}
+}
+
 // NewRing returns a ring of n cells (each cell has two neighbours). It is
 // used in tests and for experiments with smaller clusters.
 func NewRing(n int) (*Topology, error) {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -51,6 +52,120 @@ func TestRingTopology(t *testing.T) {
 	}
 	if _, err := NewRing(1); err == nil {
 		t.Error("ring of one cell should be rejected")
+	}
+}
+
+// inflowSum computes, for one cell, the stationary inflow of the
+// uniform-neighbour handover walk when every cell is equally occupied:
+// sum over neighbours b of 1/deg(b). A value of 1 for every cell means the
+// topology is flow-balanced — inflow matches outflow in every cell.
+func inflowSum(topo *Topology, cell int) float64 {
+	var sum float64
+	for _, nb := range topo.Neighbors(cell) {
+		sum += 1 / float64(topo.Degree(nb))
+	}
+	return sum
+}
+
+func TestHexRingTopologies(t *testing.T) {
+	sizes := map[int]int{1: 7, 2: 19, 3: 37}
+	for r, want := range sizes {
+		topo, err := NewHexRing(r)
+		if err != nil {
+			t.Fatalf("NewHexRing(%d): %v", r, err)
+		}
+		if topo.NumCells() != want {
+			t.Fatalf("NewHexRing(%d) has %d cells, want %d", r, topo.NumCells(), want)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("NewHexRing(%d) invalid (neighbour symmetry broken): %v", r, err)
+		}
+		for c := 0; c < topo.NumCells(); c++ {
+			// Wrap-around closure: every cell, boundary cells included, has
+			// exactly six distinct neighbours, none of them itself.
+			if topo.Degree(c) != 6 {
+				t.Errorf("r=%d: cell %d degree = %d, want 6", r, c, topo.Degree(c))
+			}
+			seen := make(map[int]bool)
+			for _, nb := range topo.Neighbors(c) {
+				if nb == c {
+					t.Errorf("r=%d: cell %d is its own neighbour", r, c)
+				}
+				if seen[nb] {
+					t.Errorf("r=%d: cell %d lists neighbour %d twice", r, c, nb)
+				}
+				seen[nb] = true
+			}
+			// Flow balance: uniform occupancy is stationary under handovers.
+			if sum := inflowSum(topo, c); math.Abs(sum-1) > 1e-12 {
+				t.Errorf("r=%d: cell %d inflow sum = %v, want 1", r, c, sum)
+			}
+		}
+		// The first ring must border the mid cell (index layout convention).
+		for c := 1; c <= 6; c++ {
+			if !topo.AreNeighbors(MidCell, c) {
+				t.Errorf("r=%d: ring-1 cell %d should border the mid cell", r, c)
+			}
+		}
+	}
+	if _, err := NewHexRing(0); err == nil {
+		t.Error("NewHexRing(0) should be rejected")
+	}
+}
+
+func TestPresetTopologiesAreConnected(t *testing.T) {
+	// Handover flow must be able to reach every cell from every cell: a bug
+	// in the wrap-around closure (e.g. dropped edges that still keep
+	// neighbour lists symmetric) would disconnect the cluster and trap
+	// users in a component.
+	for _, n := range []int{7, 19, 37} {
+		topo, err := Preset(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visited := make([]bool, topo.NumCells())
+		queue := []int{MidCell}
+		visited[MidCell] = true
+		reached := 1
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			for _, nb := range topo.Neighbors(c) {
+				if !visited[nb] {
+					visited[nb] = true
+					reached++
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if reached != topo.NumCells() {
+			t.Errorf("%d-cell cluster: only %d cells reachable from the mid cell", n, reached)
+		}
+	}
+}
+
+func TestPreset(t *testing.T) {
+	for _, n := range []int{7, 19, 37} {
+		topo, err := Preset(n)
+		if err != nil {
+			t.Fatalf("Preset(%d): %v", n, err)
+		}
+		if topo.NumCells() != n {
+			t.Errorf("Preset(%d) has %d cells", n, topo.NumCells())
+		}
+	}
+	// The paper's cluster keeps its hand-built shape: degree-4 ring cells.
+	topo, err := Preset(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Degree(1) != 4 {
+		t.Errorf("Preset(7) should be the seed cluster, ring degree = %d", topo.Degree(1))
+	}
+	for _, n := range []int{0, 1, 8, 61} {
+		if _, err := Preset(n); err == nil {
+			t.Errorf("Preset(%d) should be rejected", n)
+		}
 	}
 }
 

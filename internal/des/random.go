@@ -5,6 +5,22 @@ import (
 	"math/rand"
 )
 
+// SubstreamSeed derives the seed of substream k of a base seed. The
+// derivation is a SplitMix64 finalization step: the base seed is advanced by
+// k+1 increments of the golden-ratio constant and the result is mixed through
+// the SplitMix64 output permutation. Consecutive substream indices therefore
+// land in well-separated regions of the underlying generator's state space,
+// and the map (base, k) -> seed is free of the systematic collisions of
+// affine schemes such as base*4+k (where nearby bases alias each other's
+// substreams as the index range grows with the cell count).
+func SubstreamSeed(base int64, k uint64) int64 {
+	z := uint64(base) + (k+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Stream is a reproducible random variate stream for simulation input
 // modelling. Distinct model components should use distinct streams (obtained
 // from distinct seeds) so that changing one input process does not perturb

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/runner"
@@ -89,6 +90,15 @@ type Options struct {
 	// from across the replications. The zero value means 3 for Quick and 5
 	// for Full.
 	Replications int
+	// Cells selects the simulated cluster size of the validation figures:
+	// 0 or 7 is the paper's seven-cell cluster; 19 and 37 select the
+	// generated wrap-around hex-ring clusters (cluster.Preset).
+	Cells int
+	// Shards, when > 1, runs every simulator replication on the sharded
+	// multi-cell engine with that many cell groups advanced in parallel,
+	// still bounded — together with all other work — by the shared limiter.
+	// Results are identical to the serial engine.
+	Shards int
 	// Progress, when non-nil, receives one human-readable line per completed
 	// unit of work (a finished figure, a simulated point). Calls are
 	// serialized but may arrive in any order.
@@ -99,6 +109,14 @@ type Options struct {
 	// parallelism (figures, points, replications). withDefaults installs one
 	// sized Workers; AllFigures hands the same limiter to all figures.
 	limiter *runner.Limiter
+	// admission bounds how many simulators are live at once when Shards > 1
+	// (the CPU bound then moves to the shard workers, which draw from
+	// limiter; see runner.Options.Admission). Installed by withDefaults and
+	// shared across all figures and sweep points of one run.
+	admission *runner.Limiter
+	// cache memoizes steady-state solutions across all figures sharing this
+	// Options value; installed by withDefaults, shared by AllFigures.
+	cache *solveCache
 	// progressMu serializes Progress calls across all levels of parallelism
 	// that share this Options value; installed by withDefaults.
 	progressMu *sync.Mutex
@@ -139,6 +157,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.limiter == nil {
 		o.limiter = runner.NewLimiter(o.Workers)
+	}
+	if o.admission == nil && o.Shards > 1 {
+		o.admission = runner.NewLimiter(o.Workers)
+	}
+	if o.cache == nil {
+		o.cache = newSolveCache()
 	}
 	if o.progressMu == nil {
 		o.progressMu = &sync.Mutex{}
@@ -228,20 +252,26 @@ func simConfig(o Options, model traffic.Model, rate float64) sim.Config {
 	return cfg
 }
 
-// solvePoint builds and solves the analytical model for one configuration.
+// solvePoint builds and solves the analytical model for one configuration,
+// memoizing (configuration, tolerance) pairs in the run's shared cache so
+// figures sweeping overlapping parameter grids — and the second panel of
+// every two-panel figure — reuse solutions instead of re-solving.
 func solvePoint(cfg core.Config, o Options) (core.Measures, error) {
-	model, err := core.New(cfg)
-	if err != nil {
-		return core.Measures{}, err
-	}
-	res, err := model.Solve(ctmc.SolveOptions{
-		Tolerance:     o.Tolerance,
-		MaxIterations: o.MaxIterations,
+	key := solveKey{cfg: cfg, tolerance: o.Tolerance, maxIterations: o.MaxIterations}
+	return o.cache.solve(key, func() (core.Measures, error) {
+		model, err := core.New(cfg)
+		if err != nil {
+			return core.Measures{}, err
+		}
+		res, err := model.Solve(ctmc.SolveOptions{
+			Tolerance:     o.Tolerance,
+			MaxIterations: o.MaxIterations,
+		})
+		if err != nil {
+			return core.Measures{}, err
+		}
+		return res.Measures, nil
 	})
-	if err != nil {
-		return core.Measures{}, err
-	}
-	return res.Measures, nil
 }
 
 // sweepJob is one model solution in a sweep: a configuration plus the slot
@@ -277,11 +307,19 @@ func sweep(jobs []sweepJob, o Options, extract func(core.Measures) float64, seri
 // the GPRS fraction). The summaries are bit-identical for a given (SimSeed,
 // Replications) regardless of the worker count.
 func simulateSweep(o Options, figID string, model traffic.Model, rates []float64, mutate func(*sim.Config)) ([]runner.Summary, error) {
+	var topo *cluster.Topology
+	if o.Cells != 0 {
+		var err error
+		if topo, err = cluster.Preset(o.Cells); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
+	}
 	sums := make([]runner.Summary, len(rates))
 	var mu sync.Mutex
 	done := 0
 	err := runner.ForEach(nil, len(rates), func(i int) error {
 		cfg := simConfig(o, model, rates[i])
+		cfg.Topology = topo
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -290,6 +328,8 @@ func simulateSweep(o Options, figID string, model traffic.Model, rates []float64
 			BaseSeed:        o.SimSeed,
 			ConfidenceLevel: cfg.ConfidenceLevel,
 			Limiter:         o.limiter,
+			Shards:          o.Shards,
+			Admission:       o.admission,
 		})
 		if err != nil {
 			return fmt.Errorf("simulation at rate %g: %w", rates[i], err)

@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -358,6 +361,91 @@ func TestSimulateSweepReplicatedAndDeterministic(t *testing.T) {
 	}
 	if len(progress) != len(rates) {
 		t.Errorf("expected one progress line per point, got %v", progress)
+	}
+}
+
+func TestSolveCacheDeduplicatesOverlappingSweeps(t *testing.T) {
+	o := testOptions().withDefaults()
+	// Fig. 15 sweeps one (fraction, rate) grid for two panels: the second
+	// panel must be served entirely from the cache.
+	figs, err := Fig15GPRSPopulation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 3)
+	hits, misses := o.cache.stats()
+	grid := int64(3 * len(callRates(o.Fidelity)))
+	if misses != grid {
+		t.Errorf("unique solutions = %d, want %d", misses, grid)
+	}
+	if hits != grid {
+		t.Errorf("cache hits = %d, want %d (one full panel)", hits, grid)
+	}
+	// Fig. 6 sweeps the same fractions over the same rates at the same
+	// reserved-PDCH setting, so a shared Options value re-solves nothing.
+	if _, err := Fig6Validation(o); err != nil {
+		t.Fatal(err)
+	}
+	_, misses2 := o.cache.stats()
+	if misses2 != misses {
+		t.Errorf("figure 6 re-solved %d points the cache already held", misses2-misses)
+	}
+}
+
+func TestSolveCacheSingleFlight(t *testing.T) {
+	c := newSolveCache()
+	var computed int64
+	var wg sync.WaitGroup
+	key := solveKey{tolerance: 1e-6}
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.solve(key, func() (core.Measures, error) {
+				atomic.AddInt64(&computed, 1)
+				return core.Measures{}, nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computed != 1 {
+		t.Errorf("concurrent identical requests computed %d times, want 1", computed)
+	}
+	if hits, misses := c.stats(); hits != 15 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 15/1", hits, misses)
+	}
+}
+
+func TestSimulateSweepRejectsUnsupportedCells(t *testing.T) {
+	o := testOptions()
+	o.Cells = 12
+	o = o.withDefaults()
+	if _, err := simulateSweep(o, "test", traffic.Model3, []float64{0.1}, nil); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("unsupported cluster size should fail with ErrInvalidOptions, got %v", err)
+	}
+}
+
+func TestSimulateSweepLargeClusterSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	o := testOptions()
+	o.Cells = 19
+	o.Shards = 2
+	o.Replications = 2
+	o.SimMeasurementSec = 300
+	o = o.withDefaults()
+	sums, err := simulateSweep(o, "test", traffic.Model3, []float64{0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Replications != 2 {
+		t.Fatalf("unexpected summaries: %+v", sums)
+	}
+	if sums[0].Merged.Events == 0 || sums[0].Merged.PacketsDelivered == 0 {
+		t.Error("19-cell sharded sweep simulated no traffic")
 	}
 }
 

@@ -28,20 +28,17 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/des"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 // SeedFor derives the seed of replication i from the base seed. The
-// derivation is a SplitMix64 finalization step, so consecutive replication
-// indices land in well-separated regions of the underlying generator's state
-// space rather than on nearby seeds.
+// derivation is a SplitMix64 finalization step (des.SubstreamSeed), so
+// consecutive replication indices land in well-separated regions of the
+// underlying generator's state space rather than on nearby seeds.
 func SeedFor(base int64, i int) int64 {
-	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
+	return des.SubstreamSeed(base, uint64(i))
 }
 
 // Options controls a replicated simulation run.
@@ -67,6 +64,25 @@ type Options struct {
 	// replicated simulations concurrently pass one Limiter so the global
 	// number of in-flight simulator runs stays bounded.
 	Limiter *Limiter
+	// Shards, when > 1, runs every replication on the sharded multi-cell
+	// engine (sim.NewSharded) with that many cell groups advanced in
+	// parallel conservative time windows. Shard-level parallelism composes
+	// with replication-level parallelism: the replication fan-out is then
+	// gated by Admission (live simulators) while the shard workers of all
+	// replications acquire CPU tokens from the shared Limiter, keeping the
+	// number of active CPU-bound tasks at the worker bound. Results are
+	// bit-identical to the serial engine, so Shards only changes how the
+	// work is scheduled.
+	Shards int
+	// Admission, used only when Shards > 1, bounds how many replications are
+	// mid-flight at once — i.e. how many simulators are live, each parked at
+	// a window barrier when it holds no Limiter token. It must be a pool
+	// distinct from Limiter (a replication may hold an admission token while
+	// its shard workers wait for CPU tokens; drawing both from one pool
+	// would deadlock). Callers running several replicated simulations
+	// concurrently pass one shared Admission so total live simulators stay
+	// bounded; when nil, a pool-private limiter of Workers tokens is used.
+	Admission *Limiter
 }
 
 func (o Options) withDefaults() Options {
@@ -177,7 +193,8 @@ func Merge(results []sim.Results, level float64) Summary {
 // configuration (the configuration's own Seed field is ignored; replication i
 // runs with SeedFor(BaseSeed, i)) and merges them. The merged result is
 // bit-identical for a given (BaseSeed, Replications) pair regardless of
-// worker count.
+// worker count and of the Shards setting (the sharded engine reproduces the
+// serial engine exactly).
 func Run(cfg sim.Config, o Options) (Summary, error) {
 	o = o.withDefaults()
 	lim := o.Limiter
@@ -190,17 +207,36 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 		level = cfg.ConfidenceLevel
 	}
 
+	// With shard-level parallelism the CPU bound moves to the leaf work —
+	// one shard advancing one synchronization window acquires the shared
+	// limiter's tokens — so the replication loop must not hold those same
+	// tokens across window barriers (a replication holding one while its
+	// shard workers wait for more would deadlock a small pool). Instead the
+	// fan-out is gated by the Admission limiter: a distinct pool, so a
+	// replication parked at a barrier with an admission token blocks no
+	// shard worker, while the number of live simulators stays bounded even
+	// across many concurrent Run calls sharing one Admission.
+	outer := lim
+	if o.Shards > 1 {
+		if o.Admission != nil && o.Admission == lim {
+			// Sharing one pool would deadlock: a replication holds its
+			// admission token across window barriers while its shard
+			// workers wait on the same pool for CPU tokens.
+			return Summary{}, fmt.Errorf("runner: Admission must be a pool distinct from Limiter")
+		}
+		outer = o.Admission
+		if outer == nil {
+			outer = NewLimiter(o.Workers)
+		}
+	}
+
 	results := make([]sim.Results, o.Replications)
 	var mu sync.Mutex
 	done := 0
-	err := ForEach(lim, o.Replications, func(i int) error {
+	err := ForEach(outer, o.Replications, func(i int) error {
 		c := cfg
 		c.Seed = SeedFor(o.BaseSeed, i)
-		s, err := sim.New(c)
-		if err != nil {
-			return fmt.Errorf("replication %d: %w", i, err)
-		}
-		res, err := s.Run()
+		res, err := sim.RunOnce(c, sim.ShardedOptions{Shards: o.Shards, Limiter: lim})
 		if err != nil {
 			return fmt.Errorf("replication %d: %w", i, err)
 		}

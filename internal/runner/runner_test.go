@@ -82,6 +82,64 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestRunShardedEngineMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	cfg := testConfig()
+	serial, err := Run(cfg, Options{Replications: 2, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard-level parallelism under a shared limiter must not change the
+	// merged summary: replication i still runs seed SeedFor(42, i) and the
+	// sharded engine is bit-identical to the serial one.
+	lim := NewLimiter(2)
+	sharded, err := Run(cfg, Options{Replications: 2, BaseSeed: 42, Shards: 4, Limiter: lim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sharded, serial) {
+		t.Errorf("sharded replications differ from serial ones:\n%v\nvs\n%v", sharded, serial)
+	}
+}
+
+func TestRunRejectsAliasedAdmission(t *testing.T) {
+	lim := NewLimiter(1)
+	_, err := Run(testConfig(), Options{
+		Replications: 1, BaseSeed: 1, Shards: 2, Limiter: lim, Admission: lim,
+	})
+	if err == nil {
+		t.Fatal("Admission aliasing Limiter must be rejected (it would deadlock)")
+	}
+}
+
+func TestRunShardedWithSharedAdmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	cfg := testConfig()
+	serial, err := Run(cfg, Options{Replications: 3, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The narrowest possible pools: one CPU token, one live simulator, three
+	// replications of two shards each. The admission pool being distinct
+	// from the CPU pool is what keeps this free of deadlock; the merged
+	// summary must still match the serial run bit for bit.
+	lim := NewLimiter(1)
+	adm := NewLimiter(1)
+	sharded, err := Run(cfg, Options{
+		Replications: 3, BaseSeed: 7, Shards: 2, Limiter: lim, Admission: adm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sharded, serial) {
+		t.Errorf("admission-bounded sharded run differs from serial run:\n%v\nvs\n%v", sharded, serial)
+	}
+}
+
 func TestRunReplicationsAreIndependent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replicated simulation runs skipped in -short mode")

@@ -1,0 +1,252 @@
+// Package shard is a conservative parallel discrete-event engine. A
+// simulation is partitioned into logical processes, each owning a private
+// event calendar; processes interact only through timestamped messages whose
+// delivery delay is bounded below by a known lookahead. The engine advances
+// all processes in bounded time windows no longer than the lookahead: inside
+// a window every process runs independently (processes are grouped into
+// shards, one worker per shard), and at the window barrier the messages
+// produced by the window are merged in a deterministic order — by timestamp,
+// then source process id, then per-source sequence number — and handed to
+// their destination processes. Because a message sent at time t arrives no
+// earlier than t + lookahead, no message can arrive inside the window that
+// produced it, so every process observes exactly the same inputs regardless
+// of how processes are grouped into shards or how shards are scheduled onto
+// workers: results are bit-identical for a fixed (model, lookahead) across
+// shard layouts and worker counts.
+//
+// The package is model-agnostic: internal/sim builds its multi-cell GPRS
+// simulator on top of it with one process per cell and handovers as the
+// cross-process messages, the minimum handover latency serving as lookahead.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+)
+
+// ErrInvalidEngine is returned for malformed engine configurations.
+var ErrInvalidEngine = errors.New("shard: invalid engine configuration")
+
+// ErrLookaheadViolated is returned when a process emits a message that would
+// arrive inside the window that produced it, breaking the conservative
+// synchronization contract.
+var ErrLookaheadViolated = errors.New("shard: lookahead violated")
+
+// Message is a timestamped payload travelling between processes.
+type Message struct {
+	// At is the absolute simulation time the message takes effect at the
+	// destination. It must be no earlier than the end of the window in which
+	// the message was produced (guaranteed when the sender applies a delay
+	// of at least the engine lookahead; rounding may land At exactly on the
+	// window end, where delivery is still safe).
+	At float64
+	// Src and Dst are the producing and receiving process indices.
+	Src, Dst int
+	// Seq orders messages of one source: sources number their messages with a
+	// strictly increasing counter so ties in (At, Src) break deterministically.
+	Seq uint64
+	// Payload is the model-defined content.
+	Payload any
+}
+
+// Process is one logical process of the partitioned simulation: a private
+// event calendar plus the model state driven by it. Advance and Deliver are
+// never called concurrently for the same process, but distinct processes are
+// advanced in parallel, so processes must not share mutable state.
+type Process interface {
+	// Advance executes the process's calendar up to and including time t and
+	// returns the messages produced while doing so. The returned slice is
+	// consumed before the next Advance call.
+	Advance(t float64) []Message
+	// Deliver hands the process an inbound message; the process schedules it
+	// on its calendar for time m.At (which is at or beyond its current
+	// clock).
+	Deliver(m Message)
+}
+
+// Limiter bounds how many shards of this engine (or of several engines
+// sharing the limiter, e.g. the replications of one experiment) advance
+// concurrently. runner.Limiter satisfies the interface.
+type Limiter interface {
+	Acquire()
+	Release()
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Lookahead is the window length: the minimum cross-process message
+	// delay. It must be positive.
+	Lookahead float64
+	// Shards is the number of process groups advanced in parallel; the zero
+	// value means min(runtime.NumCPU(), number of processes). 1 advances all
+	// processes on the calling goroutine. The grouping never affects results,
+	// only the available parallelism.
+	Shards int
+	// Limiter, when non-nil, is acquired by each shard for the duration of
+	// one window's work, so shard-level parallelism composes with outer
+	// fan-outs (replications, sweep points) under one shared bound. Shards
+	// never hold a token while waiting at the window barrier, so sharing a
+	// limiter cannot deadlock.
+	Limiter Limiter
+}
+
+// Engine advances a set of processes in conservative time windows.
+type Engine struct {
+	procs  []Process
+	opt    Options
+	groups [][]int // shard index -> process indices
+	now    float64
+	err    error
+
+	merged []Message // reusable barrier buffer
+}
+
+// New validates the options and builds an engine over the given processes.
+func New(procs []Process, opt Options) (*Engine, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("%w: no processes", ErrInvalidEngine)
+	}
+	if opt.Lookahead <= 0 || math.IsNaN(opt.Lookahead) || math.IsInf(opt.Lookahead, 0) {
+		return nil, fmt.Errorf("%w: lookahead %v", ErrInvalidEngine, opt.Lookahead)
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = runtime.NumCPU()
+	}
+	if opt.Shards > len(procs) {
+		opt.Shards = len(procs)
+	}
+	// Contiguous blocks of near-equal size; the split is cosmetic for
+	// results (any grouping yields identical output) but balances work.
+	groups := make([][]int, opt.Shards)
+	for i := range procs {
+		g := i * opt.Shards / len(procs)
+		groups[g] = append(groups[g], i)
+	}
+	return &Engine{procs: procs, opt: opt, groups: groups}, nil
+}
+
+// Now returns the engine clock: every process has been advanced to this time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Shards returns the number of process groups advanced in parallel.
+func (e *Engine) Shards() int { return len(e.groups) }
+
+// AdvanceTo runs windows of at most Lookahead until the engine clock reaches
+// t, exchanging messages at every window barrier. It returns the first
+// synchronization error encountered (and keeps returning it on later calls).
+func (e *Engine) AdvanceTo(t float64) error {
+	if e.err != nil {
+		return e.err
+	}
+	if len(e.groups) == 1 {
+		e.advanceSerial(t)
+		return e.err
+	}
+	e.advanceParallel(t)
+	return e.err
+}
+
+func (e *Engine) advanceSerial(t float64) {
+	out := make([][]Message, 1)
+	for e.now < t && e.err == nil {
+		next := math.Min(e.now+e.opt.Lookahead, t)
+		if e.opt.Limiter != nil {
+			e.opt.Limiter.Acquire()
+		}
+		var msgs []Message
+		for _, p := range e.procs {
+			msgs = append(msgs, p.Advance(next)...)
+		}
+		if e.opt.Limiter != nil {
+			e.opt.Limiter.Release()
+		}
+		out[0] = msgs
+		e.barrier(next, out)
+	}
+}
+
+func (e *Engine) advanceParallel(t float64) {
+	n := len(e.groups)
+	cmds := make([]chan float64, n)
+	type result struct {
+		shard int
+		msgs  []Message
+	}
+	results := make(chan result, n)
+	for i, group := range e.groups {
+		cmds[i] = make(chan float64, 1)
+		go func(shard int, group []int, cmd <-chan float64) {
+			for next := range cmd {
+				if e.opt.Limiter != nil {
+					e.opt.Limiter.Acquire()
+				}
+				var msgs []Message
+				for _, pi := range group {
+					msgs = append(msgs, e.procs[pi].Advance(next)...)
+				}
+				if e.opt.Limiter != nil {
+					e.opt.Limiter.Release()
+				}
+				results <- result{shard, msgs}
+			}
+		}(i, group, cmds[i])
+	}
+	defer func() {
+		for _, cmd := range cmds {
+			close(cmd)
+		}
+	}()
+
+	out := make([][]Message, n)
+	for e.now < t && e.err == nil {
+		next := math.Min(e.now+e.opt.Lookahead, t)
+		for _, cmd := range cmds {
+			cmd <- next
+		}
+		for i := 0; i < n; i++ {
+			r := <-results
+			out[r.shard] = r.msgs
+		}
+		e.barrier(next, out)
+	}
+}
+
+// barrier merges the messages of one finished window in deterministic order
+// and delivers them, then advances the engine clock to the window end.
+func (e *Engine) barrier(windowEnd float64, out [][]Message) {
+	e.merged = e.merged[:0]
+	for _, msgs := range out {
+		e.merged = append(e.merged, msgs...)
+	}
+	sort.Slice(e.merged, func(i, j int) bool {
+		a, b := e.merged[i], e.merged[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+	for _, m := range e.merged {
+		// Equality is allowed: a sender one ulp past the window start can
+		// have its fl(send time + lookahead) round down to exactly the
+		// window end, and delivering at the barrier time is still safe —
+		// every process clock is pinned to windowEnd, so the message fires
+		// first thing in the next window.
+		if m.At < windowEnd {
+			e.err = fmt.Errorf("%w: message from %d to %d at %v produced in window ending %v",
+				ErrLookaheadViolated, m.Src, m.Dst, m.At, windowEnd)
+			return
+		}
+		if m.Dst < 0 || m.Dst >= len(e.procs) {
+			e.err = fmt.Errorf("%w: message from %d to out-of-range process %d", ErrInvalidEngine, m.Src, m.Dst)
+			return
+		}
+		e.procs[m.Dst].Deliver(m)
+	}
+	e.now = windowEnd
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"repro/internal/des"
+	"repro/internal/radio"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -8,22 +10,105 @@ import (
 // blockPeriodSec is the duration of one RLC radio block (four TDMA frames).
 const blockPeriodSec = 0.02
 
-// packet is one 480-byte network-layer data packet travelling through the BSC
-// buffer of a cell.
-type packet struct {
-	owner      *session
-	conn       *connection
-	seq        int
-	enqueuedAt float64
-	blocksLeft int
+// streamsPerCell is the number of random variate streams each cell derives
+// from the base seed (arrival, duration, traffic, handover).
+const streamsPerCell = 4
+
+// cellStreams groups the per-cell random variate streams. Every cell draws
+// its arrivals, call durations, traffic variates, and handover decisions from
+// its own streams, so a cell's sample path does not depend on how events of
+// other cells interleave with its own — the property that makes the sharded
+// engine bit-identical to the serial one.
+type cellStreams struct {
+	arrival  *des.Stream
+	duration *des.Stream
+	traffic  *des.Stream
+	handover *des.Stream
+}
+
+// newCellStreams derives the streams of one cell from the base seed via
+// SplitMix64 substreams (des.SubstreamSeed), which stays collision-free as
+// the cell count grows — unlike the previous affine seed*4+k scheme, under
+// which nearby base seeds aliased each other's streams.
+func newCellStreams(seed int64, cellID int) cellStreams {
+	sub := func(k uint64) *des.Stream {
+		return des.NewStream(des.SubstreamSeed(seed, uint64(cellID)*streamsPerCell+k))
+	}
+	return cellStreams{arrival: sub(0), duration: sub(1), traffic: sub(2), handover: sub(3)}
+}
+
+// cellEnv is the engine-side contract of a cell: the shared configuration and
+// the transport that carries handover messages between cells. The serial
+// engine schedules deliveries directly on its single shared calendar; the
+// sharded engine buffers them as timestamped messages merged deterministically
+// at the next synchronization window barrier.
+type cellEnv interface {
+	conf() *Config
+	radioBlocksPerPacket() int
+	// dispatch sends a handover message from src to cell dst, taking effect
+	// at src.now() + HandoverLatencySec.
+	dispatch(src *cell, dst int, m handoverMsg)
+}
+
+// hoKind discriminates handover message payloads.
+type hoKind uint8
+
+const (
+	hoVoice hoKind = iota
+	hoSession
+)
+
+// voiceState is the serialized state of a voice call in handover transit.
+type voiceState struct {
+	// departAt is the absolute completion time of the call.
+	departAt float64
+}
+
+// sessionPhase is the activity phase of a GPRS session at handover time.
+type sessionPhase uint8
+
+const (
+	phaseReading sessionPhase = iota
+	phaseOpenLoop
+	phaseTCP
+)
+
+// sessionState is the serialized state of a GPRS session in handover transit.
+// It is deliberately small: pending timers are carried as absolute times, and
+// a TCP transfer is carried as its count of outstanding segments — the
+// transfer restarts in the target cell, modelling the service interruption of
+// a GPRS cell change (packets already queued in the source cell drain there
+// without acknowledgement effect).
+type sessionState struct {
+	phase           sessionPhase
+	packetCallsLeft int
+	// packetsLeft is the number of open-loop packets still to generate in the
+	// current packet call (phaseOpenLoop), or the number of TCP segments not
+	// yet received by the mobile (phaseTCP).
+	packetsLeft int
+	// resumeAt is the absolute time of the pending traffic timer (end of the
+	// reading period, or the next open-loop packet generation).
+	resumeAt float64
+}
+
+// handoverMsg is the payload of one cross-cell handover.
+type handoverMsg struct {
+	kind  hoKind
+	voice voiceState
+	sess  sessionState
 }
 
 // cell is one cell of the cluster: voice-channel occupancy, the BSC FIFO
-// buffer for data packets, the set of active GPRS sessions, and (for the mid
-// cell) the measurement state.
+// buffer for data packets, the set of active GPRS sessions, the measurement
+// state, and — shard-locally — its own event calendar and random variate
+// streams. In the serial engine all cells share one calendar; in the sharded
+// engine each cell owns one, and cells interact only through handover
+// messages.
 type cell struct {
-	id  int
-	sim *Simulator
+	id      int
+	env     cellEnv
+	eng     *des.Simulation
+	streams cellStreams
 
 	voiceCalls int
 	sessions   int
@@ -49,50 +134,187 @@ type cell struct {
 	gprsBlocked  int64
 	handoversIn  int64
 	handoversOut int64
+
+	tcpTimeouts     int64
+	tcpFastRecovers int64
+}
+
+func newCell(id int, env cellEnv, eng *des.Simulation, seed int64) *cell {
+	return &cell{id: id, env: env, eng: eng, streams: newCellStreams(seed, id)}
+}
+
+func (c *cell) now() float64 { return c.eng.Now() }
+
+// schedule registers an action after the given delay on the cell's calendar
+// and returns its event handle. Delays are always non-negative in this
+// package, so scheduling cannot fail; a nil handle is returned only for a nil
+// action.
+func (c *cell) schedule(delay float64, action func()) *des.Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev, err := c.eng.ScheduleAfter(delay, action)
+	if err != nil {
+		return nil
+	}
+	return ev
+}
+
+// start arms the fresh-arrival Poisson processes of the cell.
+func (c *cell) start() {
+	cfg := c.env.conf()
+	gsmRate := (1 - cfg.GPRSFraction) * cfg.TotalCallRate
+	gprsRate := cfg.GPRSFraction * cfg.TotalCallRate
+	if gsmRate > 0 {
+		c.scheduleNextGSMArrival(gsmRate)
+	}
+	if gprsRate > 0 {
+		c.scheduleNextGPRSArrival(gprsRate)
+	}
+}
+
+// scheduleNextGSMArrival arms the Poisson arrival process of fresh GSM calls.
+func (c *cell) scheduleNextGSMArrival(rate float64) {
+	gap := c.streams.arrival.Exponential(1 / rate)
+	c.schedule(gap, func() {
+		c.gsmArrival()
+		c.scheduleNextGSMArrival(rate)
+	})
+}
+
+// scheduleNextGPRSArrival arms the Poisson arrival process of fresh GPRS
+// session requests.
+func (c *cell) scheduleNextGPRSArrival(rate float64) {
+	gap := c.streams.arrival.Exponential(1 / rate)
+	c.schedule(gap, func() {
+		c.gprsArrival()
+		c.scheduleNextGPRSArrival(rate)
+	})
+}
+
+// gsmArrival handles a fresh GSM voice call.
+func (c *cell) gsmArrival() {
+	c.gsmArrivals++
+	if !c.canAdmitVoice() {
+		c.gsmBlocked++
+		return
+	}
+	c.addVoice()
+	duration := c.streams.duration.Exponential(c.env.conf().GSMCallDurationSec)
+	call := &voiceCall{cell: c, departAt: c.now() + duration}
+	call.departEv = c.schedule(duration, call.depart)
+	call.scheduleHandover()
+}
+
+// gprsArrival handles a fresh GPRS session request.
+func (c *cell) gprsArrival() {
+	c.gprsArrivals++
+	if !c.canAdmitSession() {
+		c.gprsBlocked++
+		return
+	}
+	c.addSession()
+	s := &session{cell: c}
+	s.scheduleHandover()
+	s.start()
+}
+
+// receive handles a handover message arriving from another cell: the user is
+// admitted or dropped (handover failure) under the same admission rules as in
+// the source-cell-resident model.
+func (c *cell) receive(m handoverMsg) {
+	switch m.kind {
+	case hoVoice:
+		c.receiveVoice(m.voice)
+	case hoSession:
+		c.receiveSession(m.sess)
+	}
+}
+
+// receiveVoice admits a voice call arriving by handover.
+func (c *cell) receiveVoice(st voiceState) {
+	if st.departAt <= c.now() {
+		return // the call ended during the handover interruption
+	}
+	if !c.canAdmitVoice() {
+		return // handover failure: the call is dropped
+	}
+	c.addVoice()
+	c.handoversIn++
+	call := &voiceCall{cell: c, departAt: st.departAt}
+	call.departEv = c.schedule(st.departAt-c.now(), call.depart)
+	call.scheduleHandover()
+}
+
+// receiveSession admits a GPRS session arriving by handover and resumes its
+// activity phase.
+func (c *cell) receiveSession(st sessionState) {
+	if !c.canAdmitSession() {
+		return // handover failure: the session is forced to terminate
+	}
+	c.addSession()
+	c.handoversIn++
+	s := &session{cell: c, active: true, packetCallsLeft: st.packetCallsLeft}
+	s.scheduleHandover()
+	switch st.phase {
+	case phaseReading:
+		s.genEv = c.schedule(max(0, st.resumeAt-c.now()), s.startPacketCall)
+	case phaseOpenLoop:
+		s.packetsLeftInCall = st.packetsLeft
+		s.genEv = c.schedule(max(0, st.resumeAt-c.now()), s.generatePacket)
+	case phaseTCP:
+		if st.packetsLeft <= 0 {
+			// Every segment had reached the mobile; only the closing
+			// acknowledgements were outstanding. The packet call is done.
+			s.packetCallComplete()
+			return
+		}
+		s.startTransfer(st.packetsLeft)
+	}
 }
 
 // canAdmitVoice reports whether a new GSM call can be accepted.
 func (c *cell) canAdmitVoice() bool {
-	return c.sim.cfg.Channels.CanAdmitGSMCall(c.voiceCalls)
+	return c.env.conf().Channels.CanAdmitGSMCall(c.voiceCalls)
 }
 
 // canAdmitSession reports whether a new GPRS session can be accepted.
 func (c *cell) canAdmitSession() bool {
-	return c.sessions < c.sim.cfg.MaxSessions
+	return c.sessions < c.env.conf().MaxSessions
 }
 
 func (c *cell) addVoice() {
 	c.voiceCalls++
-	c.voiceOcc.Update(c.sim.now(), float64(c.voiceCalls))
+	c.voiceOcc.Update(c.now(), float64(c.voiceCalls))
 }
 
 func (c *cell) removeVoice() {
 	c.voiceCalls--
-	c.voiceOcc.Update(c.sim.now(), float64(c.voiceCalls))
+	c.voiceOcc.Update(c.now(), float64(c.voiceCalls))
 }
 
 func (c *cell) addSession() {
 	c.sessions++
-	c.sessOcc.Update(c.sim.now(), float64(c.sessions))
+	c.sessOcc.Update(c.now(), float64(c.sessions))
 }
 
 func (c *cell) removeSession() {
 	c.sessions--
-	c.sessOcc.Update(c.sim.now(), float64(c.sessions))
+	c.sessOcc.Update(c.now(), float64(c.sessions))
 }
 
 // enqueue offers a packet to the BSC buffer. It returns false when the buffer
 // is full and the packet is dropped.
 func (c *cell) enqueue(p *packet) bool {
 	c.packetsOffered++
-	if len(c.buffer) >= c.sim.cfg.BufferSize {
+	if len(c.buffer) >= c.env.conf().BufferSize {
 		c.packetsLost++
 		return false
 	}
-	p.enqueuedAt = c.sim.now()
-	p.blocksLeft = c.sim.blocksPerPacket
+	p.enqueuedAt = c.now()
+	p.blocksLeft = c.env.radioBlocksPerPacket()
 	c.buffer = append(c.buffer, p)
-	c.queueLen.Update(c.sim.now(), float64(len(c.buffer)))
+	c.queueLen.Update(c.now(), float64(len(c.buffer)))
 	c.ensureTick()
 	return true
 }
@@ -104,7 +326,7 @@ func (c *cell) ensureTick() {
 		return
 	}
 	c.tickScheduled = true
-	c.sim.schedule(0, c.radioTick)
+	c.schedule(0, c.radioTick)
 }
 
 // radioTick transmits one radio-block period worth of data: every available
@@ -113,11 +335,11 @@ func (c *cell) ensureTick() {
 func (c *cell) radioTick() {
 	c.tickScheduled = false
 	if len(c.buffer) == 0 {
-		c.pdchUsage.Update(c.sim.now(), 0)
+		c.pdchUsage.Update(c.now(), 0)
 		return
 	}
 
-	available := c.sim.cfg.Channels.AvailablePDCH(c.voiceCalls)
+	available := c.env.conf().Channels.AvailablePDCH(c.voiceCalls)
 	blocks := available
 	used := 0
 	for _, p := range c.buffer {
@@ -125,8 +347,8 @@ func (c *cell) radioTick() {
 			break
 		}
 		alloc := p.blocksLeft
-		if alloc > c.sim.maxSlotsPerPacket {
-			alloc = c.sim.maxSlotsPerPacket
+		if alloc > radio.MaxSlotsPerMobile {
+			alloc = radio.MaxSlotsPerMobile
 		}
 		if alloc > blocks {
 			alloc = blocks
@@ -135,11 +357,11 @@ func (c *cell) radioTick() {
 		blocks -= alloc
 		used += alloc
 	}
-	c.pdchUsage.Update(c.sim.now(), float64(used))
+	c.pdchUsage.Update(c.now(), float64(used))
 
 	// Deliver packets whose last block has just been transmitted. Service is
 	// head-of-line first, so finished packets form a prefix of the buffer.
-	now := c.sim.now() + blockPeriodSec
+	now := c.now() + blockPeriodSec
 	remaining := c.buffer[:0]
 	for _, p := range c.buffer {
 		if p.blocksLeft <= 0 {
@@ -157,7 +379,7 @@ func (c *cell) radioTick() {
 
 	if len(c.buffer) > 0 {
 		c.tickScheduled = true
-		c.sim.schedule(blockPeriodSec, c.radioTick)
+		c.schedule(blockPeriodSec, c.radioTick)
 	} else {
 		c.pdchUsage.Update(now, 0)
 	}
@@ -169,7 +391,7 @@ func (c *cell) deliver(p *packet, at float64) {
 	c.packetsDelivered++
 	c.delaySum += at - p.enqueuedAt
 	if p.conn != nil {
-		c.sim.onPacketDelivered(p, at)
+		p.conn.onDelivered(p.seq, at)
 	}
 }
 

@@ -43,6 +43,14 @@ type Config struct {
 	GSMDwellTimeSec    float64
 	GPRSDwellTimeSec   float64
 
+	// HandoverLatencySec is the service interruption of a handover: the time
+	// a user is in transit between the source and the target cell, occupying
+	// resources in neither (default 100 ms, the classic GSM handover
+	// interruption). It doubles as the synchronization lookahead of the
+	// sharded engine: cross-cell handovers are the only inter-cell
+	// interaction, so shards can safely advance in windows of this length.
+	HandoverLatencySec float64
+
 	// EnableTCP selects closed-loop packet calls (each packet call is a TCP
 	// transfer reacting to BSC buffer overflow). When false, packets are
 	// generated open loop by the IPP of the 3GPP traffic model.
@@ -107,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.Topology == nil {
 		c.Topology = cluster.NewHexCluster()
 	}
+	if c.HandoverLatencySec <= 0 {
+		c.HandoverLatencySec = 0.1
+	}
 	if c.CoreNetworkDelaySec <= 0 {
 		c.CoreNetworkDelaySec = 0.05
 	}
@@ -156,6 +167,9 @@ func (c Config) Validate() error {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("%w: %s = %v", ErrInvalidConfig, name, v)
 		}
+	}
+	if c.HandoverLatencySec < 0 || math.IsNaN(c.HandoverLatencySec) || math.IsInf(c.HandoverLatencySec, 0) {
+		return fmt.Errorf("%w: handover latency = %v", ErrInvalidConfig, c.HandoverLatencySec)
 	}
 	if c.EnableTCP {
 		if err := c.TCP.Validate(); err != nil {

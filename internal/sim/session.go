@@ -5,20 +5,60 @@ import (
 	"repro/internal/tcp"
 )
 
-// voiceCall is one circuit-switched GSM call moving through the cluster.
+// packet is one 480-byte network-layer data packet travelling through the BSC
+// buffer of a cell.
+type packet struct {
+	conn       *connection
+	seq        int
+	enqueuedAt float64
+	blocksLeft int
+}
+
+// voiceCall is one circuit-switched GSM call. It is anchored to its current
+// cell; a handover serializes the call into a voiceState message and
+// recreates it in the target cell after the handover latency.
 type voiceCall struct {
-	cellID     int
+	cell       *cell
+	departAt   float64
 	departEv   *des.Event
 	handoverEv *des.Event
 }
 
+// depart completes the voice call.
+func (v *voiceCall) depart() {
+	v.cell.removeVoice()
+	v.handoverEv.Cancel()
+}
+
+// scheduleHandover arms the dwell-time timer of the call in its current cell.
+func (v *voiceCall) scheduleHandover() {
+	dwell := v.cell.streams.handover.Exponential(v.cell.env.conf().GSMDwellTimeSec)
+	v.handoverEv = v.cell.schedule(dwell, v.handover)
+}
+
+// handover moves the call towards a neighbouring cell: the call leaves this
+// cell immediately and arrives — or is dropped, if the target has no free
+// traffic channel — after the handover latency.
+func (v *voiceCall) handover() {
+	c := v.cell
+	target := c.env.conf().Topology.HandoverTarget(c.id, c.streams.handover.Intn)
+	if target < 0 {
+		v.scheduleHandover()
+		return
+	}
+	c.handoversOut++
+	c.removeVoice()
+	v.departEv.Cancel()
+	c.env.dispatch(c, target, handoverMsg{kind: hoVoice, voice: voiceState{departAt: v.departAt}})
+}
+
 // session is one GPRS packet-service session: an alternating sequence of
 // packet calls (document downloads) and reading times, following the 3GPP
-// traffic model of the paper.
+// traffic model of the paper. Like voiceCall it is anchored to its current
+// cell; a handover serializes the session's phase into a sessionState message
+// and resumes it in the target cell.
 type session struct {
-	id     int
-	cellID int
-	sim    *Simulator
+	cell *cell
 
 	active          bool
 	packetCallsLeft int
@@ -31,13 +71,14 @@ type session struct {
 	genEv             *des.Event
 
 	handoverEv *des.Event
-	seqCounter int
 }
+
+func (s *session) cfg() *Config { return s.cell.env.conf() }
 
 // start begins the first packet call.
 func (s *session) start() {
 	s.active = true
-	s.packetCallsLeft = s.sim.streams.traffic.Geometric(s.sim.cfg.Session.NumPacketCalls)
+	s.packetCallsLeft = s.cell.streams.traffic.Geometric(s.cfg().Session.NumPacketCalls)
 	s.startPacketCall()
 }
 
@@ -46,28 +87,34 @@ func (s *session) startPacketCall() {
 	if !s.active {
 		return
 	}
-	packets := s.sim.streams.traffic.Geometric(s.sim.cfg.Session.PacketsPerCall)
-	if s.sim.cfg.EnableTCP {
-		conn, err := newConnection(s, packets)
-		if err != nil {
-			// The TCP configuration was validated up front; a failure here
-			// means the session cannot transfer data, so terminate it.
-			s.end()
-			return
-		}
-		s.conn = conn
-		conn.pump()
+	packets := s.cell.streams.traffic.Geometric(s.cfg().Session.PacketsPerCall)
+	if s.cfg().EnableTCP {
+		s.startTransfer(packets)
 		return
 	}
 	s.packetsLeftInCall = packets
 	s.scheduleNextGeneration()
 }
 
+// startTransfer opens the TCP connection carrying the given number of
+// segments of the current packet call.
+func (s *session) startTransfer(segments int) {
+	conn, err := newConnection(s, segments)
+	if err != nil {
+		// The TCP configuration was validated up front; a failure here means
+		// the session cannot transfer data, so terminate it.
+		s.end()
+		return
+	}
+	s.conn = conn
+	conn.pump()
+}
+
 // scheduleNextGeneration schedules the next open-loop packet of the current
 // packet call after an exponential inter-arrival time.
 func (s *session) scheduleNextGeneration() {
-	gap := s.sim.streams.traffic.Exponential(s.sim.cfg.Session.PacketInterarrivalSec)
-	s.genEv = s.sim.schedule(gap, s.generatePacket)
+	gap := s.cell.streams.traffic.Exponential(s.cfg().Session.PacketInterarrivalSec)
+	s.genEv = s.cell.schedule(gap, s.generatePacket)
 }
 
 // generatePacket emits one open-loop packet into the BSC buffer of the
@@ -76,9 +123,7 @@ func (s *session) generatePacket() {
 	if !s.active {
 		return
 	}
-	p := &packet{owner: s, seq: s.seqCounter}
-	s.seqCounter++
-	s.sim.cells[s.cellID].enqueue(p)
+	s.cell.enqueue(&packet{})
 	s.packetsLeftInCall--
 	if s.packetsLeftInCall > 0 {
 		s.scheduleNextGeneration()
@@ -99,8 +144,8 @@ func (s *session) packetCallComplete() {
 		s.end()
 		return
 	}
-	reading := s.sim.streams.traffic.Exponential(s.sim.cfg.Session.ReadingTimeSec)
-	s.genEv = s.sim.schedule(reading, s.startPacketCall)
+	reading := s.cell.streams.traffic.Exponential(s.cfg().Session.ReadingTimeSec)
+	s.genEv = s.cell.schedule(reading, s.startPacketCall)
 }
 
 // end terminates the session and releases its slot in the current cell.
@@ -109,7 +154,7 @@ func (s *session) end() {
 		return
 	}
 	s.active = false
-	s.sim.cells[s.cellID].removeSession()
+	s.cell.removeSession()
 	s.handoverEv.Cancel()
 	s.genEv.Cancel()
 	if s.conn != nil {
@@ -118,44 +163,62 @@ func (s *session) end() {
 	}
 }
 
-// handover moves the session to a neighbouring cell, or drops it if the
-// target cell has reached its session limit.
+// handover moves the session towards a neighbouring cell. The session leaves
+// this cell immediately: pending timers are carried as absolute times, and an
+// active TCP transfer is interrupted — its unreceived segments restart in the
+// target cell, while segments already queued at this cell's BSC drain without
+// acknowledgement effect (the service interruption of a GPRS cell change).
+// If the target has reached its session limit when the session arrives, the
+// session is dropped (handover failure).
 func (s *session) handover() {
 	if !s.active {
 		return
 	}
-	old := s.sim.cells[s.cellID]
-	targetID := s.sim.cfg.Topology.HandoverTarget(s.cellID, s.sim.streams.handover.Intn)
-	if targetID < 0 {
+	c := s.cell
+	target := s.cfg().Topology.HandoverTarget(c.id, c.streams.handover.Intn)
+	if target < 0 {
 		s.scheduleHandover()
 		return
 	}
-	target := s.sim.cells[targetID]
-	old.handoversOut++
-	if !target.canAdmitSession() {
-		// Handover failure: the session is forced to terminate.
-		s.end()
-		return
+	c.handoversOut++
+	st := s.captureState()
+	s.end()
+	c.env.dispatch(c, target, handoverMsg{kind: hoSession, sess: st})
+}
+
+// captureState serializes the session's activity phase for handover transit.
+func (s *session) captureState() sessionState {
+	st := sessionState{packetCallsLeft: s.packetCallsLeft}
+	switch {
+	case s.conn != nil:
+		st.phase = phaseTCP
+		st.packetsLeft = s.conn.total - s.conn.recvNext
+	case s.packetsLeftInCall > 0:
+		st.phase = phaseOpenLoop
+		st.packetsLeft = s.packetsLeftInCall
+		st.resumeAt = s.genEv.Time
+	default:
+		st.phase = phaseReading
+		st.resumeAt = s.genEv.Time
 	}
-	old.removeSession()
-	target.addSession()
-	target.handoversIn++
-	s.cellID = targetID
-	s.scheduleHandover()
+	return st
 }
 
 // scheduleHandover arms the dwell-time timer in the current cell.
 func (s *session) scheduleHandover() {
-	dwell := s.sim.streams.handover.Exponential(s.sim.cfg.GPRSDwellTimeSec)
-	s.handoverEv = s.sim.schedule(dwell, s.handover)
+	dwell := s.cell.streams.handover.Exponential(s.cfg().GPRSDwellTimeSec)
+	s.handoverEv = s.cell.schedule(dwell, s.handover)
 }
 
 // connection is the TCP transfer of one packet call: a fixed-network sender
 // paced by Reno congestion control, the BSC buffer as the bottleneck, and the
-// mobile station as receiver returning cumulative acknowledgements.
+// mobile station as receiver returning cumulative acknowledgements. A
+// connection lives and dies within one cell: the session's handover aborts it
+// and restarts the outstanding segments in the target cell, so all of its
+// events stay on the calendar of the cell that opened it.
 type connection struct {
 	sess   *session
-	sim    *Simulator
+	cell   *cell
 	sender *tcp.Sender
 
 	total         int
@@ -169,13 +232,13 @@ type connection struct {
 }
 
 func newConnection(s *session, totalSegments int) (*connection, error) {
-	sender, err := tcp.NewSender(s.sim.cfg.TCP)
+	sender, err := tcp.NewSender(s.cfg().TCP)
 	if err != nil {
 		return nil, err
 	}
 	return &connection{
 		sess:          s,
-		sim:           s.sim,
+		cell:          s.cell,
 		sender:        sender,
 		total:         totalSegments,
 		deliveredSeqs: make(map[int]bool, totalSegments),
@@ -200,13 +263,12 @@ func (c *connection) send(seq int) {
 	if _, seen := c.sendTimes[seq]; seen {
 		c.retransmitted[seq] = true
 	}
-	c.sendTimes[seq] = c.sim.now()
-	c.sim.schedule(c.sim.cfg.CoreNetworkDelaySec, func() {
-		if c.done || !c.sess.active {
+	c.sendTimes[seq] = c.cell.now()
+	c.cell.schedule(c.sess.cfg().CoreNetworkDelaySec, func() {
+		if c.done {
 			return
 		}
-		p := &packet{owner: c.sess, conn: c, seq: seq}
-		c.sim.cells[c.sess.cellID].enqueue(p)
+		c.cell.enqueue(&packet{conn: c, seq: seq})
 	})
 	c.restartRTO()
 }
@@ -224,8 +286,8 @@ func (c *connection) onDelivered(seq int, at float64) {
 		}
 	}
 	ackVal := c.recvNext
-	delay := c.sim.cfg.UplinkDelaySec + c.sim.cfg.CoreNetworkDelaySec
-	c.sim.schedule(delay+(at-c.sim.now()), func() { c.onAck(ackVal, seq) })
+	delay := c.sess.cfg().UplinkDelaySec + c.sess.cfg().CoreNetworkDelaySec
+	c.cell.schedule(delay+(at-c.cell.now()), func() { c.onAck(ackVal, seq) })
 }
 
 // onAck processes a cumulative acknowledgement arriving at the sender.
@@ -236,7 +298,7 @@ func (c *connection) onAck(ackVal, sampleSeq int) {
 	var sample float64
 	if !c.retransmitted[sampleSeq] {
 		if sent, ok := c.sendTimes[sampleSeq]; ok {
-			sample = c.sim.now() - sent
+			sample = c.cell.now() - sent
 		}
 	}
 	res := c.sender.OnAck(ackVal, sample)
@@ -270,7 +332,7 @@ func (c *connection) onTimeout() {
 // restartRTO re-arms the retransmission timer.
 func (c *connection) restartRTO() {
 	c.rtoEv.Cancel()
-	c.rtoEv = c.sim.schedule(c.sender.RTO(), c.onTimeout)
+	c.rtoEv = c.cell.schedule(c.sender.RTO(), c.onTimeout)
 }
 
 // complete finishes the transfer and hands control back to the session.
@@ -280,19 +342,20 @@ func (c *connection) complete() {
 	}
 	c.done = true
 	c.rtoEv.Cancel()
-	c.sim.totalTimeouts += int64(c.sender.Timeouts())
-	c.sim.totalFastRecovers += int64(c.sender.FastRecoveries())
+	c.cell.tcpTimeouts += int64(c.sender.Timeouts())
+	c.cell.tcpFastRecovers += int64(c.sender.FastRecoveries())
 	c.sess.packetCallComplete()
 }
 
 // abort terminates the transfer without notifying the session (used when the
-// session itself ends or is dropped at a handover).
+// session itself ends or leaves the cell). The sender's congestion events are
+// credited to the cell the transfer ran in.
 func (c *connection) abort() {
 	if c.done {
 		return
 	}
 	c.done = true
 	c.rtoEv.Cancel()
-	c.sim.totalTimeouts += int64(c.sender.Timeouts())
-	c.sim.totalFastRecovers += int64(c.sender.FastRecoveries())
+	c.cell.tcpTimeouts += int64(c.sender.Timeouts())
+	c.cell.tcpFastRecovers += int64(c.sender.FastRecoveries())
 }

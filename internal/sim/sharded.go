@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/shard"
+)
+
+// ShardedOptions configures the shard-parallel engine.
+type ShardedOptions struct {
+	// Shards is the number of cell groups advanced in parallel; the zero
+	// value means min(NumCPU, cells). The grouping never affects results —
+	// a given (seed, configuration) is bit-identical for every shard and
+	// worker count, and identical to the serial engine.
+	Shards int
+	// Limiter, when non-nil, bounds the shard workers together with outer
+	// fan-outs (typically the replication pool's shared runner.Limiter), so
+	// shard-level and replication-level parallelism compose under one global
+	// worker bound.
+	Limiter shard.Limiter
+}
+
+// Sharded runs the detailed network-level model with one event calendar per
+// cell, advanced in conservative time windows by the shard engine. The window
+// length (synchronization lookahead) is the handover latency: handovers are
+// the only cross-cell interaction, and a handover decided at time t takes
+// effect at t + HandoverLatencySec, so no message can arrive inside the
+// window that produced it. Cross-shard handovers are merged deterministically
+// by (timestamp, source cell, sequence number), which makes the results
+// reproducible regardless of the worker count or shard layout.
+type Sharded struct {
+	config Config
+	bpp    int
+	cells  []*cell
+	procs  []*cellProc
+	engine *shard.Engine
+}
+
+// cellProc adapts one cell (with its private calendar) to the shard engine's
+// Process interface, buffering outbound handovers until the window barrier.
+type cellProc struct {
+	cell   *cell
+	outbox []shard.Message
+	seq    uint64
+}
+
+func (p *cellProc) Advance(t float64) []shard.Message {
+	p.cell.eng.RunUntil(t)
+	if len(p.outbox) == 0 {
+		return nil
+	}
+	out := append([]shard.Message(nil), p.outbox...)
+	p.outbox = p.outbox[:0]
+	return out
+}
+
+func (p *cellProc) Deliver(m shard.Message) {
+	hm := m.Payload.(handoverMsg)
+	if _, err := p.cell.eng.Schedule(m.At, func() { p.cell.receive(hm) }); err != nil {
+		// The shard engine guarantees m.At is at or beyond this cell's
+		// clock, and Schedule accepts the current time.
+		panic(err)
+	}
+}
+
+// RunOnce builds and runs one simulator to completion: on the serial
+// single-calendar engine, or on the sharded engine when opt.Shards > 1. The
+// two engines are bit-identical for a given configuration, so opt affects
+// only how the run is scheduled. It is the single engine-selection point
+// shared by cmd/gprs-sim and the replication runner.
+func RunOnce(cfg Config, opt ShardedOptions) (Results, error) {
+	if opt.Shards > 1 {
+		e, err := NewSharded(cfg, opt)
+		if err != nil {
+			return Results{}, err
+		}
+		return e.Run()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.Run()
+}
+
+// NewSharded validates the configuration and builds a sharded simulator. Like
+// a Simulator it is single-use; Run may use up to Shards goroutines.
+func NewSharded(cfg Config, opt ShardedOptions) (*Sharded, error) {
+	s := &Sharded{}
+	var err error
+	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(int) *des.Simulation { return des.NewSimulation() })
+	if err != nil {
+		return nil, err
+	}
+	s.procs = make([]*cellProc, len(s.cells))
+	procs := make([]shard.Process, len(s.cells))
+	for i, c := range s.cells {
+		s.procs[i] = &cellProc{cell: c}
+		procs[i] = s.procs[i]
+	}
+	engine, err := shard.New(procs, shard.Options{
+		Lookahead: s.config.HandoverLatencySec,
+		Shards:    opt.Shards,
+		Limiter:   opt.Limiter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	s.engine = engine
+	return s, nil
+}
+
+// Config returns the (defaulted) configuration of the simulator.
+func (s *Sharded) Config() Config { return s.config }
+
+// MidCell returns the index of the measured cell.
+func (s *Sharded) MidCell() int { return cluster.MidCell }
+
+// Shards returns the number of cell groups advanced in parallel.
+func (s *Sharded) Shards() int { return s.engine.Shards() }
+
+// Run executes warm-up plus the measurement period and returns the mid-cell
+// results.
+func (s *Sharded) Run() (Results, error) { return collectRun(s) }
+
+func (s *Sharded) conf() *Config             { return &s.config }
+func (s *Sharded) radioBlocksPerPacket() int { return s.bpp }
+func (s *Sharded) cellList() []*cell         { return s.cells }
+
+func (s *Sharded) advanceTo(t float64) error { return s.engine.AdvanceTo(t) }
+
+func (s *Sharded) processedEvents() uint64 {
+	var total uint64
+	for _, c := range s.cells {
+		total += c.eng.ProcessedEvents()
+	}
+	return total
+}
+
+// dispatch implements cellEnv by queueing the handover on the source cell's
+// outbox; the shard engine merges and delivers it at the next window barrier.
+func (s *Sharded) dispatch(src *cell, dst int, m handoverMsg) {
+	p := s.procs[src.id]
+	p.seq++
+	p.outbox = append(p.outbox, shard.Message{
+		At:      src.now() + s.config.HandoverLatencySec,
+		Src:     src.id,
+		Dst:     dst,
+		Seq:     p.seq,
+		Payload: m,
+	})
+}

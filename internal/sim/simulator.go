@@ -5,123 +5,127 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
-	"repro/internal/radio"
 	"repro/internal/traffic"
 )
 
-// Simulator runs the detailed network-level model of the GSM/GPRS cluster.
-// Create one with New, run it once with Run. A Simulator is single-use and
-// single-goroutine; for independent replications merged into
-// cross-replication confidence intervals use the runner package, which
-// derives one seed substream per replication and fans the runs out across a
-// worker pool.
-type Simulator struct {
-	cfg Config
-	eng *des.Simulation
-
-	cells []*cell
-
-	streams struct {
-		arrival  *des.Stream
-		duration *des.Stream
-		traffic  *des.Stream
-		handover *des.Stream
-	}
-
-	blocksPerPacket   int
-	maxSlotsPerPacket int
-	sessionCounter    int
-
-	totalTimeouts     int64
-	totalFastRecovers int64
+// engineCore is the common substrate of the serial and the sharded engine:
+// a configured set of cells that can be advanced to a simulation time. The
+// measurement loop (warm-up, batch windows, totals) is shared between both
+// through collectRun.
+type engineCore interface {
+	conf() *Config
+	cellList() []*cell
+	advanceTo(t float64) error
+	processedEvents() uint64
 }
 
-// New validates the configuration and builds a simulator.
+// Simulator runs the detailed network-level model of the GSM/GPRS cluster on
+// a single event calendar shared by all cells. Create one with New, run it
+// once with Run. A Simulator is single-use and single-goroutine; for
+// independent replications merged into cross-replication confidence intervals
+// use the runner package, and for shard-parallel execution of one replication
+// use NewSharded — both engines produce bit-identical results for a given
+// configuration, because every cell draws from its own random variate
+// substreams and handovers travel as timestamped messages in either engine.
+type Simulator struct {
+	config Config
+	eng    *des.Simulation
+	cells  []*cell
+	bpp    int
+}
+
+// New validates the configuration and builds a serial simulator.
 func New(cfg Config) (*Simulator, error) {
-	if err := cfg.Validate(); err != nil {
+	s := &Simulator{eng: des.NewSimulation()}
+	var err error
+	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(int) *des.Simulation { return s.eng })
+	if err != nil {
 		return nil, err
-	}
-	cfg = cfg.withDefaults()
-
-	s := &Simulator{
-		cfg:               cfg,
-		eng:               des.NewSimulation(),
-		blocksPerPacket:   cfg.Channels.Coding.RadioBlocksPerPacket(traffic.PacketSizeBytes),
-		maxSlotsPerPacket: radio.MaxSlotsPerMobile,
-	}
-	if s.blocksPerPacket < 1 {
-		return nil, fmt.Errorf("%w: coding scheme %v yields no radio blocks", ErrInvalidConfig, cfg.Channels.Coding)
-	}
-
-	s.streams.arrival = des.NewStream(cfg.Seed*4 + 1)
-	s.streams.duration = des.NewStream(cfg.Seed*4 + 2)
-	s.streams.traffic = des.NewStream(cfg.Seed*4 + 3)
-	s.streams.handover = des.NewStream(cfg.Seed*4 + 4)
-
-	s.cells = make([]*cell, cfg.Topology.NumCells())
-	for i := range s.cells {
-		s.cells[i] = &cell{id: i, sim: s}
 	}
 	return s, nil
 }
 
+// buildCells is the construction path shared by the serial and the sharded
+// engine: it validates and defaults the configuration, computes the radio
+// blocks per packet, and constructs the cells of the cluster. calendarFor
+// supplies cell i's event calendar — the serial engine passes one shared
+// calendar, the sharded engine a private one per cell.
+func buildCells(cfg Config, env cellEnv, calendarFor func(i int) *des.Simulation) (Config, int, []*cell, error) {
+	if err := cfg.Validate(); err != nil {
+		return Config{}, 0, nil, err
+	}
+	cfg = cfg.withDefaults()
+	bpp := cfg.Channels.Coding.RadioBlocksPerPacket(traffic.PacketSizeBytes)
+	if bpp < 1 {
+		return Config{}, 0, nil, fmt.Errorf("%w: coding scheme %v yields no radio blocks", ErrInvalidConfig, cfg.Channels.Coding)
+	}
+	cells := make([]*cell, cfg.Topology.NumCells())
+	for i := range cells {
+		cells[i] = newCell(i, env, calendarFor(i), cfg.Seed)
+	}
+	return cfg, bpp, cells, nil
+}
+
 // Config returns the (defaulted) configuration of the simulator.
-func (s *Simulator) Config() Config { return s.cfg }
+func (s *Simulator) Config() Config { return s.config }
 
 // MidCell returns the index of the measured cell.
 func (s *Simulator) MidCell() int { return cluster.MidCell }
 
-func (s *Simulator) now() float64 { return s.eng.Now() }
-
-// schedule registers an action after the given delay and returns its event
-// handle. Delays are always non-negative in this package, so scheduling
-// cannot fail; a nil handle is returned only for a nil action.
-func (s *Simulator) schedule(delay float64, action func()) *des.Event {
-	if delay < 0 {
-		delay = 0
-	}
-	ev, err := s.eng.ScheduleAfter(delay, action)
-	if err != nil {
-		return nil
-	}
-	return ev
-}
-
 // Run executes warm-up plus the measurement period and returns the mid-cell
 // results.
-func (s *Simulator) Run() (Results, error) {
-	rates := struct {
-		gsm  float64
-		gprs float64
-	}{
-		gsm:  (1 - s.cfg.GPRSFraction) * s.cfg.TotalCallRate,
-		gprs: s.cfg.GPRSFraction * s.cfg.TotalCallRate,
+func (s *Simulator) Run() (Results, error) { return collectRun(s) }
+
+func (s *Simulator) conf() *Config             { return &s.config }
+func (s *Simulator) radioBlocksPerPacket() int { return s.bpp }
+func (s *Simulator) cellList() []*cell         { return s.cells }
+func (s *Simulator) processedEvents() uint64   { return s.eng.ProcessedEvents() }
+
+func (s *Simulator) advanceTo(t float64) error {
+	s.eng.RunUntil(t)
+	return nil
+}
+
+// dispatch implements cellEnv on the shared calendar: the handover message is
+// simply scheduled for delivery after the handover latency.
+func (s *Simulator) dispatch(src *cell, dst int, m handoverMsg) {
+	at := src.now() + s.config.HandoverLatencySec
+	if _, err := s.eng.Schedule(at, func() { s.cells[dst].receive(m) }); err != nil {
+		// Delays are non-negative and finite by construction; an error here
+		// would be a programming bug, not a model condition.
+		panic(err)
+	}
+}
+
+// collectRun drives an engine through warm-up and the batched measurement
+// period and assembles the mid-cell results.
+func collectRun(e engineCore) (Results, error) {
+	cfg := e.conf()
+	cells := e.cellList()
+	for _, c := range cells {
+		c.start()
 	}
 
-	for _, c := range s.cells {
-		if rates.gsm > 0 {
-			s.scheduleNextGSMArrival(c, rates.gsm)
-		}
-		if rates.gprs > 0 {
-			s.scheduleNextGPRSArrival(c, rates.gprs)
-		}
+	warmupEnd := cfg.WarmupSec
+	if err := e.advanceTo(warmupEnd); err != nil {
+		return Results{}, err
 	}
 
-	warmupEnd := s.cfg.WarmupSec
-	s.eng.RunUntil(warmupEnd)
-
-	mid := s.cells[cluster.MidCell]
-	acc := newBatchAccumulator(s.cfg.ConfidenceLevel)
-	snap := mid.resetBatchWindow(s.now())
+	mid := cells[cluster.MidCell]
+	acc := newBatchAccumulator(cfg.ConfidenceLevel)
+	snap := mid.resetBatchWindow(warmupEnd)
 	warmStart := mid.snapshot()
 	handoversInStart := mid.handoversIn
 	handoversOutStart := mid.handoversOut
 
-	batchDur := s.cfg.MeasurementSec / float64(s.cfg.Batches)
-	for b := 1; b <= s.cfg.Batches; b++ {
-		s.eng.RunUntil(warmupEnd + float64(b)*batchDur)
-		mid.finishBatch(acc, snap, s.now(), batchDur)
-		snap = mid.resetBatchWindow(s.now())
+	batchDur := cfg.MeasurementSec / float64(cfg.Batches)
+	for b := 1; b <= cfg.Batches; b++ {
+		end := warmupEnd + float64(b)*batchDur
+		if err := e.advanceTo(end); err != nil {
+			return Results{}, err
+		}
+		mid.finishBatch(acc, snap, end, batchDur)
+		snap = mid.resetBatchWindow(end)
 	}
 
 	res := acc.results()
@@ -131,96 +135,11 @@ func (s *Simulator) Run() (Results, error) {
 	res.PacketsDelivered = final.delivered - warmStart.delivered
 	res.HandoversIn = mid.handoversIn - handoversInStart
 	res.HandoversOut = mid.handoversOut - handoversOutStart
-	res.TCPTimeouts = s.totalTimeouts
-	res.TCPFastRecovers = s.totalFastRecovers
-	res.SimulatedSec = s.cfg.MeasurementSec
-	res.Events = s.eng.ProcessedEvents()
+	for _, c := range cells {
+		res.TCPTimeouts += c.tcpTimeouts
+		res.TCPFastRecovers += c.tcpFastRecovers
+	}
+	res.SimulatedSec = cfg.MeasurementSec
+	res.Events = e.processedEvents()
 	return res, nil
-}
-
-// scheduleNextGSMArrival arms the Poisson arrival process of fresh GSM calls
-// in a cell.
-func (s *Simulator) scheduleNextGSMArrival(c *cell, rate float64) {
-	gap := s.streams.arrival.Exponential(1 / rate)
-	s.schedule(gap, func() {
-		s.gsmArrival(c)
-		s.scheduleNextGSMArrival(c, rate)
-	})
-}
-
-// scheduleNextGPRSArrival arms the Poisson arrival process of fresh GPRS
-// session requests in a cell.
-func (s *Simulator) scheduleNextGPRSArrival(c *cell, rate float64) {
-	gap := s.streams.arrival.Exponential(1 / rate)
-	s.schedule(gap, func() {
-		s.gprsArrival(c)
-		s.scheduleNextGPRSArrival(c, rate)
-	})
-}
-
-// gsmArrival handles a fresh GSM voice call in a cell.
-func (s *Simulator) gsmArrival(c *cell) {
-	c.gsmArrivals++
-	if !c.canAdmitVoice() {
-		c.gsmBlocked++
-		return
-	}
-	c.addVoice()
-	call := &voiceCall{cellID: c.id}
-	duration := s.streams.duration.Exponential(s.cfg.GSMCallDurationSec)
-	call.departEv = s.schedule(duration, func() { s.voiceDeparture(call) })
-	s.scheduleVoiceHandover(call)
-}
-
-// voiceDeparture completes a voice call.
-func (s *Simulator) voiceDeparture(call *voiceCall) {
-	s.cells[call.cellID].removeVoice()
-	call.handoverEv.Cancel()
-}
-
-// scheduleVoiceHandover arms the dwell-time timer of a voice call.
-func (s *Simulator) scheduleVoiceHandover(call *voiceCall) {
-	dwell := s.streams.handover.Exponential(s.cfg.GSMDwellTimeSec)
-	call.handoverEv = s.schedule(dwell, func() { s.voiceHandover(call) })
-}
-
-// voiceHandover moves a voice call to a neighbouring cell; if the target has
-// no free traffic channel the call is dropped (handover failure).
-func (s *Simulator) voiceHandover(call *voiceCall) {
-	old := s.cells[call.cellID]
-	targetID := s.cfg.Topology.HandoverTarget(call.cellID, s.streams.handover.Intn)
-	if targetID < 0 {
-		s.scheduleVoiceHandover(call)
-		return
-	}
-	target := s.cells[targetID]
-	old.handoversOut++
-	old.removeVoice()
-	if !target.canAdmitVoice() {
-		call.departEv.Cancel()
-		return
-	}
-	target.addVoice()
-	target.handoversIn++
-	call.cellID = targetID
-	s.scheduleVoiceHandover(call)
-}
-
-// gprsArrival handles a fresh GPRS session request in a cell.
-func (s *Simulator) gprsArrival(c *cell) {
-	c.gprsArrivals++
-	if !c.canAdmitSession() {
-		c.gprsBlocked++
-		return
-	}
-	c.addSession()
-	s.sessionCounter++
-	sess := &session{id: s.sessionCounter, cellID: c.id, sim: s}
-	sess.scheduleHandover()
-	sess.start()
-}
-
-// onPacketDelivered forwards a delivered TCP segment to its connection.
-func (s *Simulator) onPacketDelivered(p *packet, at float64) {
-	p.conn.onDelivered(p.seq, at)
 }
