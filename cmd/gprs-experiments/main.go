@@ -9,6 +9,12 @@
 // multi-cell engine without changing the results. Progress is reported on
 // stderr.
 //
+// -scenario/-scenario-file install a heterogeneous-load workload scenario
+// (internal/scenario) on every simulator run; `-figure hotspot` regenerates
+// the per-cell hotspot figures — the spatial response of the cluster by hex
+// distance from the scenario center, the first workload the analytical model
+// cannot express.
+//
 // Examples:
 //
 //	gprs-experiments                      # quick fidelity, every figure
@@ -16,6 +22,8 @@
 //	gprs-experiments -figure fig12        # a single figure
 //	gprs-experiments -figure fig6 -replications 8 -workers 4
 //	gprs-experiments -figure fig6 -cells 19 -shards 4
+//	gprs-experiments -figure hotspot -cells 19 -replications 5
+//	gprs-experiments -figure hotspot -scenario gradient
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -49,6 +58,8 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 1, "base seed of the simulator replications")
 		cells   = fs.Int("cells", 0, "simulated cluster size: 0/7 (paper), 19 or 37 (wrap-around hex rings)")
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per simulator replication (1 = serial engine)")
+		scnName = fs.String("scenario", "", "built-in workload scenario for all simulator runs: "+strings.Join(scenario.Names(), ", "))
+		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
 		quiet   = fs.Bool("quiet", false, "suppress progress output on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +87,20 @@ func run(args []string) error {
 	}
 	if *full {
 		opts.Fidelity = experiments.Full
+	}
+	switch {
+	case *scnFile != "":
+		spec, err := scenario.Load(*scnFile)
+		if err != nil {
+			return err
+		}
+		opts.Scenario = &spec
+	case *scnName != "":
+		spec, err := scenario.Preset(*scnName)
+		if err != nil {
+			return err
+		}
+		opts.Scenario = &spec
 	}
 	if !*quiet {
 		opts.Progress = func(msg string) {
@@ -141,7 +166,9 @@ func selectFigures(name string, opts experiments.Options) ([]experiments.Figure,
 		return experiments.Fig14VoiceImpact(opts)
 	case "fig15":
 		return experiments.Fig15GPRSPopulation(opts)
+	case "hotspot":
+		return experiments.HotspotFigures(opts)
 	default:
-		return nil, fmt.Errorf("unknown figure %q (use all, tables, fig5 ... fig15)", name)
+		return nil, fmt.Errorf("unknown figure %q (use all, tables, fig5 ... fig15, hotspot)", name)
 	}
 }

@@ -9,20 +9,30 @@
 // -shards > 1 advances cell groups of each replication in parallel
 // conservative time windows — again without changing the results.
 //
+// -scenario installs a built-in heterogeneous-load workload scenario
+// (hotspot cells, load gradients, busy-hour ramps) and -scenario-file loads
+// one from a JSON file; serial and sharded engines stay bit-identical under
+// every scenario, and -percell prints the per-cell report that makes the
+// spatial response visible.
+//
 // Examples:
 //
 //	gprs-sim -model 3 -rate 0.5 -pdch 1 -measure 20000
 //	gprs-sim -rate 0.5 -replications 8 -workers 4
 //	gprs-sim -rate 0.5 -cells 19 -shards 4
+//	gprs-sim -rate 0.5 -cells 19 -scenario hotspot -percell
+//	gprs-sim -rate 0.5 -scenario-file rush.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -50,6 +60,9 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "concurrent replications (0 = NumCPU)")
 		cells   = fs.Int("cells", 7, "cluster size: 7 (paper), 19 or 37 (wrap-around hex rings)")
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per replication (1 = serial engine)")
+		scnName = fs.String("scenario", "", "built-in workload scenario: "+strings.Join(scenario.Names(), ", "))
+		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
+		perCell = fs.Bool("percell", false, "print the per-cell report after the mid-cell measures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,11 +82,22 @@ func run(args []string) error {
 	cfg.Batches = *batches
 	cfg.Seed = *seed
 
+	scenarioLabel := "uniform (paper baseline)"
+	if spec, ok, err := resolveScenario(*scnName, *scnFile); err != nil {
+		return err
+	} else if ok {
+		prof, err := scenario.Apply(&cfg, spec)
+		if err != nil {
+			return err
+		}
+		scenarioLabel = describeProfile(spec, prof)
+	}
+
 	if *reps < 1 {
 		*reps = 1
 	}
-	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d cells, %d reserved PDCHs, TCP %v, %d replication(s)...\n",
-		traffic.Model(*modelID), *rate, *cells, *pdch, cfg.EnableTCP, *reps)
+	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d cells, %d reserved PDCHs, TCP %v, %d replication(s), scenario %s...\n",
+		traffic.Model(*modelID), *rate, *cells, *pdch, cfg.EnableTCP, *reps, scenarioLabel)
 
 	if *reps <= 1 {
 		// A single run bypasses runner.Run deliberately: it uses cfg.Seed
@@ -85,6 +109,9 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(res.String())
+		if *perCell {
+			printPerCell(res.PerCell)
+		}
 		return nil
 	}
 
@@ -101,5 +128,53 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Print(sum.String())
+	if *perCell {
+		printPerCell(sum.Merged.PerCell)
+	}
 	return nil
+}
+
+// resolveScenario turns the -scenario/-scenario-file flags into a scenario
+// spec; ok is false when neither flag is set.
+func resolveScenario(name, file string) (spec scenario.Spec, ok bool, err error) {
+	switch {
+	case file != "":
+		spec, err = scenario.Load(file)
+	case name != "":
+		spec, err = scenario.Preset(name)
+	default:
+		return scenario.Spec{}, false, nil
+	}
+	return spec, err == nil, err
+}
+
+// describeProfile labels a compiled scenario for the run header.
+func describeProfile(spec scenario.Spec, prof *scenario.Profile) string {
+	name := spec.Name
+	if name == "" {
+		name = "custom"
+	}
+	weights := prof.Weights()
+	lo, hi := weights[0], weights[0]
+	for _, w := range weights {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	return fmt.Sprintf("%q (cell weights %.3g..%.3g)", name, lo, hi)
+}
+
+// printPerCell renders the per-cell report as a small table.
+func printPerCell(cells []sim.CellMeasures) {
+	fmt.Printf("per-cell measures:\n")
+	fmt.Printf("  %4s %8s %8s %8s %8s %10s %12s %8s\n",
+		"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in")
+	for _, m := range cells {
+		fmt.Printf("  %4d %8.3f %8.3f %8.3f %8.3f %10.4f %12.0f %8d\n",
+			m.Cell, m.CarriedVoiceTraffic, m.AverageSessions, m.CarriedDataTraffic,
+			m.MeanQueueLength, m.GSMBlocking, m.ThroughputBits, m.HandoversIn)
+	}
 }

@@ -70,11 +70,10 @@ func runSimulator(rate float64) sim.Results {
 	cfg.MeasurementSec = 4000
 	cfg.Batches = 5
 	cfg.Seed = 42
-	s, err := sim.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := s.Run()
+	// RunOnce is the engine-selection entry point: Shards > 1 advances cell
+	// groups in parallel conservative time windows, bit-identical to the
+	// serial engine, so the choice only affects wall-clock time.
+	res, err := sim.RunOnce(cfg, sim.ShardedOptions{Shards: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

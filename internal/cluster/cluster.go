@@ -218,6 +218,59 @@ func (t *Topology) Validate() error {
 	return nil
 }
 
+// Distances returns the hop distance from the given cell to every cell of
+// the cluster, computed by breadth-first search over the neighbour relation.
+// On the wrap-around hex rings this is the hexagonal (toroidal) cell
+// distance. It returns nil for out-of-range cells.
+func (t *Topology) Distances(from int) []int {
+	if from < 0 || from >= t.numCells {
+		return nil
+	}
+	dist := make([]int, t.numCells)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[from] = 0
+	queue := []int{from}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.neighbors[c] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[c] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the hop distance between two cells, or -1 when either
+// cell is out of range or no path connects them.
+func (t *Topology) Distance(a, b int) int {
+	d := t.Distances(a)
+	if d == nil || b < 0 || b >= t.numCells {
+		return -1
+	}
+	return d[b]
+}
+
+// Eccentricity returns the largest hop distance from the given cell to any
+// cell of the cluster, or -1 when the cell is out of range or the cluster is
+// disconnected.
+func (t *Topology) Eccentricity(from int) int {
+	max := -1
+	for _, d := range t.Distances(from) {
+		if d < 0 {
+			return -1
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // HandoverTarget returns the cell a user in the given cell hands over to,
 // selected by the provided picker function (typically a uniform random index
 // in [0, Degree(cell))). It returns -1 for out-of-range cells.

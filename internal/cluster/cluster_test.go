@@ -229,3 +229,46 @@ func TestHandoverTargetProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDistances checks the BFS hop distances on the preset clusters: the
+// seven-cell cluster has eccentricity 1 from the mid cell, the hex rings have
+// eccentricity r from theirs, distances are symmetric, and exactly the
+// neighbours sit at distance 1.
+func TestDistances(t *testing.T) {
+	for _, tc := range []struct {
+		cells, ecc int
+	}{{7, 1}, {19, 2}, {37, 3}} {
+		topo, err := Preset(tc.cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := topo.Distances(MidCell)
+		if len(dist) != tc.cells {
+			t.Fatalf("%d cells: %d distances", tc.cells, len(dist))
+		}
+		if dist[MidCell] != 0 {
+			t.Errorf("%d cells: distance to self = %d", tc.cells, dist[MidCell])
+		}
+		if got := topo.Eccentricity(MidCell); got != tc.ecc {
+			t.Errorf("%d cells: eccentricity %d, want %d", tc.cells, got, tc.ecc)
+		}
+		for c, d := range dist {
+			if want := topo.Distance(c, MidCell); want != d {
+				t.Errorf("%d cells: asymmetric distance %d<->%d: %d vs %d", tc.cells, MidCell, c, d, want)
+			}
+			if (d == 1) != topo.AreNeighbors(MidCell, c) {
+				t.Errorf("%d cells: cell %d at distance %d, neighbour=%v", tc.cells, c, d, topo.AreNeighbors(MidCell, c))
+			}
+		}
+	}
+	topo := NewHexCluster()
+	if topo.Distances(-1) != nil || topo.Distances(7) != nil {
+		t.Error("out-of-range cells should yield nil distances")
+	}
+	if topo.Distance(0, 99) != -1 || topo.Distance(-1, 0) != -1 {
+		t.Error("out-of-range distance should be -1")
+	}
+	if topo.Eccentricity(42) != -1 {
+		t.Error("out-of-range eccentricity should be -1")
+	}
+}

@@ -24,7 +24,14 @@ func WriteCSV(fig Figure, dir string) (string, error) {
 	defer f.Close()
 
 	w := csv.NewWriter(f)
-	header := []string{"call_rate_per_s"}
+	// The x column is named after the figure's x axis (most figures sweep
+	// the call arrival rate, the hotspot figures sweep hex distance), so the
+	// files stay self-describing.
+	xcol := sanitizeColumn(fig.XLabel)
+	if xcol == "" {
+		xcol = "x"
+	}
+	header := []string{xcol}
 	for _, s := range fig.Series {
 		header = append(header, sanitizeColumn(s.Label))
 		if s.YErr != nil {

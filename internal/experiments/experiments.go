@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -99,6 +100,13 @@ type Options struct {
 	// still bounded — together with all other work — by the shared limiter.
 	// Results are identical to the serial engine.
 	Shards int
+	// Scenario, when non-nil, installs the heterogeneous-load workload
+	// scenario (hotspot cells, load gradients, busy-hour ramps — see
+	// internal/scenario) on every simulator run. The analytical model knows
+	// only the symmetric load, so under a non-uniform scenario the simulator
+	// series are the reference and the model series keep their symmetric
+	// meaning. Nil means the uniform load of the paper.
+	Scenario *scenario.Spec
 	// Progress, when non-nil, receives one human-readable line per completed
 	// unit of work (a finished figure, a simulated point). Calls are
 	// serialized but may arrive in any order.
@@ -322,6 +330,13 @@ func simulateSweep(o Options, figID string, model traffic.Model, rates []float64
 		cfg.Topology = topo
 		if mutate != nil {
 			mutate(&cfg)
+		}
+		if o.Scenario != nil {
+			// Compiled after mutate so the profile picks up per-figure rate
+			// splits (e.g. a mutated GPRS fraction) through BaseRates.
+			if _, err := scenario.Apply(&cfg, *o.Scenario); err != nil {
+				return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+			}
 		}
 		sum, err := runner.Run(cfg, runner.Options{
 			Replications:    o.Replications,

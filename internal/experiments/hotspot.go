@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// hotspotMeasure is one per-cell measure reported by the hotspot figures.
+type hotspotMeasure struct {
+	id     string
+	title  string
+	ylabel string
+	get    func(sim.CellMeasures) float64
+}
+
+// HotspotFigures sweeps the call arrival rate under a heterogeneous-load
+// scenario and reports the spatial response of the cluster: one figure per
+// measure, the per-cell values grouped by hex distance from the scenario's
+// center cell (cells at equal distance are statistically identical under a
+// radial scenario and are averaged), one series per arrival rate. This is the
+// first workload the analytical model cannot express — the simulator series
+// are the reference, so no model curves appear. Options.Scenario selects the
+// scenario (default: the built-in hotspot preset) and Options.Cells the
+// cluster (default: the 19-cell hex ring, the smallest cluster with three
+// distinct distance groups).
+func HotspotFigures(o Options) ([]Figure, error) {
+	o = o.withDefaults()
+	if o.Cells == 0 {
+		o.Cells = 19
+	}
+	spec := o.Scenario
+	if spec == nil {
+		s, err := scenario.Preset(scenario.Hotspot)
+		if err != nil {
+			return nil, err
+		}
+		spec = &s
+	}
+	o.Scenario = spec
+
+	topo, err := cluster.Preset(o.Cells)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	center := spec.Spatial.Center
+	dist := topo.Distances(center)
+	if dist == nil {
+		return nil, fmt.Errorf("%w: scenario center %d outside the %d-cell cluster", ErrInvalidOptions, center, o.Cells)
+	}
+	groups := make(map[int][]int) // hex distance -> cell ids
+	maxDist := 0
+	for cell, d := range dist {
+		groups[d] = append(groups[d], cell)
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	distances := make([]float64, maxDist+1)
+	for d := range distances {
+		distances[d] = float64(d)
+	}
+
+	rates := callRates(o.Fidelity)
+	name := spec.Name
+	if name == "" {
+		name = "scenario"
+	}
+	sums, err := simulateSweep(o, "hotspot sweep ("+name+")", traffic.Model3, rates, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	measures := []hotspotMeasure{
+		{"hsp01_cdt_percell", "carried data traffic per cell under the %q scenario (%d cells)",
+			"carried data traffic (PDCHs)", func(m sim.CellMeasures) float64 { return m.CarriedDataTraffic }},
+		{"hsp02_cvt_percell", "carried voice traffic per cell under the %q scenario (%d cells)",
+			"carried voice traffic (channels)", func(m sim.CellMeasures) float64 { return m.CarriedVoiceTraffic }},
+		{"hsp03_gsmblock_percell", "GSM blocking per cell under the %q scenario (%d cells)",
+			"GSM blocking probability", func(m sim.CellMeasures) float64 { return m.GSMBlocking }},
+		{"hsp04_ags_percell", "active GPRS sessions per cell under the %q scenario (%d cells)",
+			"active GPRS sessions", func(m sim.CellMeasures) float64 { return m.AverageSessions }},
+	}
+
+	figs := make([]Figure, 0, len(measures))
+	for _, hm := range measures {
+		fig := Figure{
+			ID:     hm.id,
+			Title:  fmt.Sprintf(hm.title, name, o.Cells),
+			XLabel: fmt.Sprintf("hex distance from scenario center (cell %d)", center),
+			YLabel: hm.ylabel,
+		}
+		for ri, rate := range rates {
+			fig.Series = append(fig.Series, distanceSeries(
+				fmt.Sprintf("rate %.2g /s", rate), distances, groups, sums[ri], hm.get))
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// distanceSeries reduces one sweep point's per-cell report to a curve over
+// hex distance: within each replication the cells of one distance group are
+// averaged, and the cross-replication mean and confidence half-width of that
+// group average form the point. With a single replication the half-width is
+// +Inf, mirroring runner.Merge.
+func distanceSeries(label string, distances []float64, groups map[int][]int,
+	sum runner.Summary, get func(sim.CellMeasures) float64) Series {
+	s := newSeries(label, distances)
+	s.YErr = make([]float64, len(distances))
+	// The simulator configurations of this package always run at the default
+	// 0.95 confidence level; keep the error bars consistent with
+	// seriesFromSummaries.
+	const level = 0.95
+	for d := range distances {
+		cells := groups[d]
+		perRep := make([]float64, 0, len(sum.PerReplication))
+		for _, rep := range sum.PerReplication {
+			if len(rep.PerCell) == 0 {
+				continue
+			}
+			var groupMean float64
+			for _, cell := range cells {
+				groupMean += get(rep.PerCell[cell])
+			}
+			perRep = append(perRep, groupMean/float64(len(cells)))
+		}
+		iv := stats.MeanInterval(perRep, level)
+		s.Y[d] = iv.Mean
+		s.YErr[d] = iv.HalfWidth
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestHotspotFiguresShape runs the heterogeneous-load sweep on the seven-cell
+// cluster at quick fidelity and checks the spatial response: the hotspot
+// center must carry more voice traffic and block more GSM calls than the
+// cells away from it.
+func TestHotspotFiguresShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	o := testOptions()
+	o.Cells = 7
+	o.Replications = 2
+	o.SimMeasurementSec = 600
+	figs, err := HotspotFigures(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("expected 4 hotspot figures, got %d", len(figs))
+	}
+	byID := map[string]Figure{}
+	for _, fig := range figs {
+		checkFigure(t, fig, len(callRates(Quick)))
+		byID[fig.ID] = fig
+		for _, s := range fig.Series {
+			if len(s.X) != 2 { // seven-cell cluster: distances 0 and 1
+				t.Errorf("%s %q: expected 2 distance groups, got %d", fig.ID, s.Label, len(s.X))
+			}
+			if s.YErr == nil {
+				t.Errorf("%s %q: missing confidence half-widths", fig.ID, s.Label)
+			}
+		}
+	}
+	cvt := byID["hsp02_cvt_percell"]
+	// At the highest arrival rate the overloaded center must stand out.
+	last := cvt.Series[len(cvt.Series)-1]
+	if !(last.Y[0] > last.Y[1]) {
+		t.Errorf("hotspot center should carry more voice traffic than the ring: %v", last.Y)
+	}
+	block := byID["hsp03_gsmblock_percell"]
+	lastB := block.Series[len(block.Series)-1]
+	if !(lastB.Y[0] > lastB.Y[1]) {
+		t.Errorf("hotspot center should block more GSM calls than the ring: %v", lastB.Y)
+	}
+	for _, y := range append(append([]float64{}, last.Y...), lastB.Y...) {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			t.Errorf("non-finite figure value %v", y)
+		}
+	}
+}
+
+// TestHotspotFiguresHonorScenarioOption checks that an explicit scenario
+// (here the gradient, centered on the mid cell) replaces the default hotspot
+// preset.
+func TestHotspotFiguresHonorScenarioOption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	o := testOptions()
+	o.Cells = 7
+	o.Replications = 1
+	o.SimMeasurementSec = 300
+	spec, err := scenario.Preset(scenario.Gradient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Scenario = &spec
+	figs, err := HotspotFigures(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvt := figs[1]
+	last := cvt.Series[len(cvt.Series)-1]
+	// The gradient preset underloads the center (weight 0.5) relative to the
+	// edge (weight 1.5): the spatial response must flip.
+	if !(last.Y[0] < last.Y[1]) {
+		t.Errorf("gradient center should carry less voice traffic than the ring: %v", last.Y)
+	}
+}

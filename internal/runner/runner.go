@@ -11,10 +11,29 @@
 // within a single run, replication means are independent by construction, so
 // the intervals need no warm-up-correlation caveats.
 //
+// # Determinism contract
+//
 // Results are bit-identical for a given (base seed, replication count)
-// regardless of the worker count: replication i always uses SeedFor(base, i),
-// results are collected into a slice indexed by replication, and the merge
-// folds them in index order.
+// regardless of the worker count, the shard count, and the scheduling of
+// replications onto workers:
+//
+//   - SplitMix64 substream seeding: replication i always runs with
+//     SeedFor(base, i) = des.SubstreamSeed(base, i), a SplitMix64
+//     finalization of the base seed. The derived seeds depend only on
+//     (base, i) — never on which worker picks the replication up — and
+//     consecutive indices land in well-separated regions of the generator's
+//     state space instead of on nearby seeds.
+//
+//   - Worker-count invariance: results are collected into a slice indexed
+//     by replication and the merge folds them in index order, so Workers
+//     (and the Limiter sharing that bound across nested fan-outs) only
+//     changes wall-clock time. ForEach reports the error of the lowest
+//     failing index for the same reason.
+//
+//   - Engine invariance: Shards > 1 runs each replication on the sharded
+//     engine, which reproduces the serial engine bit for bit (see the
+//     determinism contract of internal/shard), so the engine choice is
+//     also purely a scheduling decision.
 //
 // The package also exposes the generic concurrency primitives the experiment
 // harness shares with the replication engine: Limiter, a counting semaphore
@@ -186,7 +205,47 @@ func Merge(results []sim.Results, level float64) Summary {
 		s.Merged.SimulatedSec += r.SimulatedSec
 		s.Merged.Events += r.Events
 	}
+	s.Merged.PerCell = mergePerCell(results)
 	return s
+}
+
+// mergePerCell folds the per-cell reports of the replications: point
+// estimates (time averages, probabilities) are averaged across replications
+// and counter totals are summed, mirroring the treatment of the mid-cell
+// measures. Replication-resolved values stay available in PerReplication —
+// cross-replication intervals over a single cell's measure come from
+// stats.MeanInterval over those.
+func mergePerCell(results []sim.Results) []sim.CellMeasures {
+	n := len(results[0].PerCell)
+	for _, r := range results {
+		if len(r.PerCell) != n {
+			return nil
+		}
+	}
+	merged := make([]sim.CellMeasures, n)
+	inv := 1 / float64(len(results))
+	for i := range merged {
+		m := sim.CellMeasures{Cell: results[0].PerCell[i].Cell}
+		for _, r := range results {
+			c := r.PerCell[i]
+			m.CarriedDataTraffic += c.CarriedDataTraffic * inv
+			m.MeanQueueLength += c.MeanQueueLength * inv
+			m.CarriedVoiceTraffic += c.CarriedVoiceTraffic * inv
+			m.AverageSessions += c.AverageSessions * inv
+			m.PacketLossProbability += c.PacketLossProbability * inv
+			m.QueueingDelaySec += c.QueueingDelaySec * inv
+			m.ThroughputBits += c.ThroughputBits * inv
+			m.GSMBlocking += c.GSMBlocking * inv
+			m.GPRSBlocking += c.GPRSBlocking * inv
+			m.PacketsOffered += c.PacketsOffered
+			m.PacketsLost += c.PacketsLost
+			m.PacketsDelivered += c.PacketsDelivered
+			m.HandoversIn += c.HandoversIn
+			m.HandoversOut += c.HandoversOut
+		}
+		merged[i] = m
+	}
+	return merged
 }
 
 // Run executes R independent replications of the given simulator

@@ -269,10 +269,16 @@ func TestMergeCoversEveryResultsField(t *testing.T) {
 			fv.SetUint(1)
 		case reflect.Float64:
 			fv.SetFloat(1)
+		case reflect.Slice:
+			if f.Name != "PerCell" {
+				t.Errorf("slice field %s has no merge rule — extend Merge and this test", f.Name)
+			}
+			// PerCell merging is covered below and by TestMergePerCell.
 		default:
 			t.Errorf("field %s has unhandled kind %v — extend Merge and this test", f.Name, fv.Kind())
 		}
 	}
+	one.PerCell = []sim.CellMeasures{{Cell: 0, CarriedVoiceTraffic: 1, PacketsOffered: 1}}
 
 	merged := Merge([]sim.Results{one, one}, 0.95).Merged
 	mv := reflect.ValueOf(merged)
@@ -289,10 +295,50 @@ func TestMergeCoversEveryResultsField(t *testing.T) {
 			got = float64(fv.Uint())
 		case reflect.Float64:
 			got = fv.Float()
+		case reflect.Slice:
+			continue // PerCell, checked below
 		}
 		if got != 2 {
 			t.Errorf("total %s = %v after merging two replications of 1, want 2 — not summed in Merge", f.Name, got)
 		}
+	}
+	if len(merged.PerCell) != 1 {
+		t.Fatalf("merged PerCell has %d entries, want 1", len(merged.PerCell))
+	}
+	if pc := merged.PerCell[0]; pc.CarriedVoiceTraffic != 1 || pc.PacketsOffered != 2 {
+		t.Errorf("merged PerCell = %+v: point estimates should average (1) and counters sum (2)", pc)
+	}
+}
+
+// TestMergePerCell checks the per-cell merge rules across replications:
+// point estimates average, counter totals sum, and mismatched cell counts
+// drop the merged per-cell report instead of fabricating one.
+func TestMergePerCell(t *testing.T) {
+	a := sim.Results{PerCell: []sim.CellMeasures{
+		{Cell: 0, CarriedDataTraffic: 1, GSMBlocking: 0.2, PacketsDelivered: 10, HandoversIn: 3},
+		{Cell: 1, CarriedDataTraffic: 3, GSMBlocking: 0.4, PacketsDelivered: 30, HandoversIn: 5},
+	}}
+	b := sim.Results{PerCell: []sim.CellMeasures{
+		{Cell: 0, CarriedDataTraffic: 2, GSMBlocking: 0.4, PacketsDelivered: 20, HandoversIn: 5},
+		{Cell: 1, CarriedDataTraffic: 5, GSMBlocking: 0.2, PacketsDelivered: 50, HandoversIn: 7},
+	}}
+	merged := Merge([]sim.Results{a, b}, 0.95).Merged
+	want := []sim.CellMeasures{
+		{Cell: 0, CarriedDataTraffic: 1.5, GSMBlocking: 0.3, PacketsDelivered: 30, HandoversIn: 8},
+		{Cell: 1, CarriedDataTraffic: 4, GSMBlocking: 0.3, PacketsDelivered: 80, HandoversIn: 12},
+	}
+	for i, w := range want {
+		got := merged.PerCell[i]
+		if math.Abs(got.CarriedDataTraffic-w.CarriedDataTraffic) > 1e-12 ||
+			math.Abs(got.GSMBlocking-w.GSMBlocking) > 1e-12 ||
+			got.PacketsDelivered != w.PacketsDelivered || got.HandoversIn != w.HandoversIn {
+			t.Errorf("cell %d: merged %+v, want %+v", i, got, w)
+		}
+	}
+
+	short := sim.Results{PerCell: a.PerCell[:1]}
+	if got := Merge([]sim.Results{a, short}, 0.95).Merged.PerCell; got != nil {
+		t.Errorf("mismatched cell counts should drop the merged per-cell report, got %+v", got)
 	}
 }
 

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Parse decodes and validates a scenario from its JSON form. Unknown fields
+// are rejected so that typos in hand-written scenario files surface as errors
+// instead of silently falling back to defaults. The format mirrors Spec:
+//
+//	{
+//	  "name": "rush19",
+//	  "spatial": {"kind": "hotspot", "center": 0, "peak": 4, "decay": 1.5},
+//	  "temporal": {"kind": "steps", "period_sec": 3600,
+//	               "steps": [{"at_sec": 0, "scale": 1}, {"at_sec": 1800, "scale": 2}]}
+//	}
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a scenario file written in the JSON format of Parse.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// busyHourSteps is a busy-hour ramp sized for the default measurement setup
+// (2000 s warm-up + 20000 s measurement): the load climbs to twice the
+// baseline mid-run and falls back off, all within the measured window.
+func busyHourSteps() []Step {
+	return []Step{
+		{AtSec: 0, Scale: 1.0},
+		{AtSec: 6000, Scale: 1.4},
+		{AtSec: 10000, Scale: 2.0},
+		{AtSec: 14000, Scale: 1.4},
+		{AtSec: 18000, Scale: 1.0},
+	}
+}
+
+// presets returns the built-in scenarios, keyed by name.
+func presets() map[string]Spec {
+	hotspot := Spatial{Kind: Hotspot, Center: cluster.MidCell, Peak: 4, Decay: 1.5}
+	return map[string]Spec{
+		// The paper's symmetric baseline: weight 1 and scale 1 everywhere,
+		// bit-identical to running without a scenario.
+		Uniform: {Name: Uniform, Spatial: Spatial{Kind: Uniform}},
+		// A radial hotspot: the mid cell carries four times the baseline
+		// load, decaying by e every 1.5 hex hops towards the cluster edge.
+		Hotspot: {Name: Hotspot, Spatial: hotspot},
+		// A linear gradient from half the baseline load at the mid cell to
+		// one-and-a-half times at the cells farthest from it.
+		Gradient: {Name: Gradient, Spatial: Spatial{Kind: Gradient, Center: cluster.MidCell, Low: 0.5, High: 1.5}},
+		// A uniform cluster through a busy-hour ramp peaking at twice the
+		// baseline load.
+		"busyhour": {Name: "busyhour", Temporal: Temporal{Kind: Steps, Steps: busyHourSteps()}},
+		// The hotspot shape riding the busy-hour ramp: spatial and temporal
+		// generators compose multiplicatively.
+		"hotspot-busyhour": {Name: "hotspot-busyhour", Spatial: hotspot,
+			Temporal: Temporal{Kind: Steps, Steps: busyHourSteps()}},
+	}
+}
+
+// Names returns the built-in scenario names in sorted order.
+func Names() []string {
+	m := presets()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the built-in scenario with the given name.
+func Preset(name string) (Spec, error) {
+	if s, ok := presets()[name]; ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("%w: unknown preset %q (built in: %v)", ErrInvalidScenario, name, Names())
+}

@@ -1,0 +1,363 @@
+// Package scenario is the declarative workload layer of the multi-cell GPRS
+// simulator. The paper validates its Markov model only under a symmetric
+// load — every cell of the seven-cell cluster sees the same constant
+// voice-call and GPRS-session arrival rates. Real cellular load is spatially
+// and temporally non-uniform, and the 19/37-cell hex-ring topologies plus the
+// sharded engine exist precisely to go beyond the symmetric case; this
+// package describes how.
+//
+// A Spec names a spatial load shape (uniform, radial hotspot with exponential
+// decay by hex distance, linear gradient) and a temporal profile
+// (constant, or a piecewise-constant step schedule such as a busy-hour ramp,
+// optionally periodic). Compiling a Spec against a cluster topology and the
+// baseline per-cell arrival rates yields a Profile — an immutable, pure
+// per-cell rate function satisfying the sim.RateProfile contract, so the
+// serial and the sharded engine remain bit-identical under every scenario.
+// The uniform scenario compiles to weight 1 and scale 1 everywhere and
+// therefore reproduces the paper's symmetric load bit for bit.
+//
+// Specs serialize to a small JSON format (see Parse and Load) and a handful
+// of named presets are built in (see Preset and Names).
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// ErrInvalidScenario is returned for malformed scenario specifications.
+var ErrInvalidScenario = errors.New("scenario: invalid scenario")
+
+// Spatial load-shape kinds.
+const (
+	// Uniform gives every cell weight 1 — the paper's symmetric baseline.
+	Uniform = "uniform"
+	// Hotspot peaks at a center cell and decays exponentially with hex
+	// distance: weight(d) = 1 + (Peak-1) * exp(-d/Decay).
+	Hotspot = "hotspot"
+	// Gradient interpolates linearly in hex distance from the center cell:
+	// weight(d) = Low + (High-Low) * d / eccentricity(center).
+	Gradient = "gradient"
+)
+
+// Temporal profile kinds.
+const (
+	// Constant holds scale 1 forever.
+	Constant = "constant"
+	// Steps follows a piecewise-constant step schedule, optionally periodic.
+	Steps = "steps"
+)
+
+// Spec declares one workload scenario: a spatial load shape crossed with a
+// temporal profile. The zero value (empty kinds) means the uniform constant
+// load. Specs are plain data — compile one with Compile or Apply to obtain
+// the per-cell rate function.
+type Spec struct {
+	// Name labels the scenario in output files and progress messages.
+	Name string `json:"name,omitempty"`
+	// Spatial selects the per-cell weight shape.
+	Spatial Spatial `json:"spatial"`
+	// Temporal selects the time-varying scale profile.
+	Temporal Temporal `json:"temporal,omitempty"`
+}
+
+// Spatial describes the per-cell weight shape of a scenario. Weights
+// multiply the baseline arrival rates (voice and data alike), so weight 1
+// means the configured per-cell load.
+type Spatial struct {
+	// Kind is Uniform, Hotspot, or Gradient. Empty means Uniform.
+	Kind string `json:"kind"`
+	// Center is the reference cell of Hotspot and Gradient shapes (the peak
+	// cell; default 0, the measured mid cell).
+	Center int `json:"center,omitempty"`
+	// Peak is the Hotspot weight at the center cell. Values above 1 create a
+	// hotspot, values in [0, 1) a coldspot.
+	Peak float64 `json:"peak,omitempty"`
+	// Decay is the Hotspot e-folding distance in hex hops (> 0).
+	Decay float64 `json:"decay,omitempty"`
+	// Low and High are the Gradient weights at the center cell and at the
+	// cells farthest from it.
+	Low  float64 `json:"low,omitempty"`
+	High float64 `json:"high,omitempty"`
+	// Normalize rescales the weights to mean 1, so the cluster-aggregate
+	// load matches the uniform scenario and only its spatial distribution
+	// changes.
+	Normalize bool `json:"normalize,omitempty"`
+}
+
+// Step is one segment boundary of a piecewise-constant temporal profile: from
+// AtSec on (until the next step), the baseline rates are multiplied by Scale.
+type Step struct {
+	AtSec float64 `json:"at_sec"`
+	Scale float64 `json:"scale"`
+}
+
+// Temporal describes the time-varying scale profile of a scenario. The scale
+// multiplies every cell's rates, so spatial shape and temporal profile
+// compose.
+type Temporal struct {
+	// Kind is Constant or Steps. Empty means Constant.
+	Kind string `json:"kind,omitempty"`
+	// Steps is the schedule of a Steps profile: strictly increasing AtSec
+	// starting at 0, each holding Scale until the next step.
+	Steps []Step `json:"steps,omitempty"`
+	// PeriodSec, when > 0, repeats the schedule with this period (all AtSec
+	// must lie inside [0, PeriodSec)). Zero means the last step's scale holds
+	// forever.
+	PeriodSec float64 `json:"period_sec,omitempty"`
+}
+
+// Validate reports whether the scenario specification is well formed.
+// Topology-dependent checks (the center cell being in range) happen at
+// Compile time.
+func (s Spec) Validate() error {
+	if err := s.Spatial.validate(); err != nil {
+		return err
+	}
+	return s.Temporal.validate()
+}
+
+func finitePos(v float64) bool { return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) }
+
+func finiteNonNeg(v float64) bool { return v >= 0 && !math.IsInf(v, 0) && !math.IsNaN(v) }
+
+func (sp Spatial) validate() error {
+	switch sp.Kind {
+	case "", Uniform:
+	case Hotspot:
+		if !finiteNonNeg(sp.Peak) {
+			return fmt.Errorf("%w: hotspot peak %v", ErrInvalidScenario, sp.Peak)
+		}
+		if !finitePos(sp.Decay) {
+			return fmt.Errorf("%w: hotspot decay %v", ErrInvalidScenario, sp.Decay)
+		}
+	case Gradient:
+		if !finiteNonNeg(sp.Low) || !finiteNonNeg(sp.High) {
+			return fmt.Errorf("%w: gradient endpoints low=%v high=%v", ErrInvalidScenario, sp.Low, sp.High)
+		}
+	default:
+		return fmt.Errorf("%w: unknown spatial kind %q", ErrInvalidScenario, sp.Kind)
+	}
+	if sp.Center < 0 {
+		return fmt.Errorf("%w: negative center cell %d", ErrInvalidScenario, sp.Center)
+	}
+	return nil
+}
+
+func (tp Temporal) validate() error {
+	switch tp.Kind {
+	case "", Constant:
+		if len(tp.Steps) > 0 {
+			return fmt.Errorf("%w: constant temporal profile with steps", ErrInvalidScenario)
+		}
+		return nil
+	case Steps:
+	default:
+		return fmt.Errorf("%w: unknown temporal kind %q", ErrInvalidScenario, tp.Kind)
+	}
+	if len(tp.Steps) == 0 {
+		return fmt.Errorf("%w: steps temporal profile without steps", ErrInvalidScenario)
+	}
+	if tp.Steps[0].AtSec != 0 {
+		return fmt.Errorf("%w: first step must start at 0, got %v", ErrInvalidScenario, tp.Steps[0].AtSec)
+	}
+	prev := math.Inf(-1)
+	for _, st := range tp.Steps {
+		if !finiteNonNeg(st.AtSec) || st.AtSec <= prev {
+			return fmt.Errorf("%w: step times must be finite and strictly increasing, got %v after %v",
+				ErrInvalidScenario, st.AtSec, prev)
+		}
+		if !finiteNonNeg(st.Scale) {
+			return fmt.Errorf("%w: step scale %v at %v s", ErrInvalidScenario, st.Scale, st.AtSec)
+		}
+		prev = st.AtSec
+	}
+	if tp.PeriodSec != 0 {
+		if !finitePos(tp.PeriodSec) {
+			return fmt.Errorf("%w: period %v", ErrInvalidScenario, tp.PeriodSec)
+		}
+		if last := tp.Steps[len(tp.Steps)-1].AtSec; last >= tp.PeriodSec {
+			return fmt.Errorf("%w: step at %v s lies beyond the period %v s", ErrInvalidScenario, last, tp.PeriodSec)
+		}
+	}
+	return nil
+}
+
+// Profile is a compiled scenario: per-cell weights, a step schedule, and the
+// baseline rates, evaluating to absolute per-cell arrival rates. It is
+// immutable after Compile and safe for concurrent use, and it satisfies the
+// sim.RateProfile contract (piecewise constant, pure).
+type Profile struct {
+	name    string
+	weights []float64
+	voice   float64
+	data    float64
+	steps   []Step // nil means constant scale 1
+	period  float64
+}
+
+// Compile resolves the scenario against a cluster topology and the baseline
+// per-cell arrival rates (the rates a weight-1 cell sees; typically
+// sim.Config.BaseRates). Hex distances come from the topology's neighbour
+// relation, so any cluster — the paper's seven-cell one, the generated hex
+// rings, or a plain ring — can carry any scenario.
+func (s Spec) Compile(topo *cluster.Topology, voiceRate, dataRate float64) (*Profile, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("%w: nil topology", ErrInvalidScenario)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !finiteNonNeg(voiceRate) || !finiteNonNeg(dataRate) {
+		return nil, fmt.Errorf("%w: baseline rates voice=%v data=%v", ErrInvalidScenario, voiceRate, dataRate)
+	}
+	weights, err := s.Spatial.weights(topo)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{name: s.Name, weights: weights, voice: voiceRate, data: dataRate}
+	if s.Temporal.Kind == Steps {
+		p.steps = append([]Step(nil), s.Temporal.Steps...)
+		p.period = s.Temporal.PeriodSec
+	}
+	return p, nil
+}
+
+// Apply compiles the scenario against the simulator configuration — its
+// topology (the paper's seven-cell cluster when nil) and baseline rates — and
+// installs the compiled profile as cfg.Rates. It returns the profile for
+// reporting (per-cell weights, scenario name).
+func Apply(cfg *sim.Config, s Spec) (*Profile, error) {
+	topo := cfg.Topology
+	if topo == nil {
+		topo = cluster.NewHexCluster()
+	}
+	voice, data := cfg.BaseRates()
+	p, err := s.Compile(topo, voice, data)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Rates = p
+	return p, nil
+}
+
+// weights computes the per-cell weight vector of a spatial shape.
+func (sp Spatial) weights(topo *cluster.Topology) ([]float64, error) {
+	n := topo.NumCells()
+	w := make([]float64, n)
+	kind := sp.Kind
+	if kind == "" {
+		kind = Uniform
+	}
+	if kind == Uniform {
+		for i := range w {
+			w[i] = 1
+		}
+		return w, nil
+	}
+	if sp.Center >= n {
+		return nil, fmt.Errorf("%w: center cell %d outside the %d-cell cluster", ErrInvalidScenario, sp.Center, n)
+	}
+	dist := topo.Distances(sp.Center)
+	switch kind {
+	case Hotspot:
+		for i, d := range dist {
+			if d < 0 {
+				return nil, fmt.Errorf("%w: cell %d unreachable from center %d", ErrInvalidScenario, i, sp.Center)
+			}
+			w[i] = 1 + (sp.Peak-1)*math.Exp(-float64(d)/sp.Decay)
+		}
+	case Gradient:
+		ecc := topo.Eccentricity(sp.Center)
+		if ecc < 0 {
+			return nil, fmt.Errorf("%w: cluster disconnected from center %d", ErrInvalidScenario, sp.Center)
+		}
+		for i, d := range dist {
+			if ecc == 0 {
+				w[i] = sp.Low
+				continue
+			}
+			w[i] = sp.Low + (sp.High-sp.Low)*float64(d)/float64(ecc)
+		}
+	}
+	if sp.Normalize {
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("%w: weights sum to %v, cannot normalize", ErrInvalidScenario, sum)
+		}
+		f := float64(n) / sum
+		for i := range w {
+			w[i] *= f
+		}
+	}
+	return w, nil
+}
+
+// Name returns the scenario label the profile was compiled from.
+func (p *Profile) Name() string { return p.name }
+
+// NumCells returns the number of cells the profile was compiled for.
+func (p *Profile) NumCells() int { return len(p.weights) }
+
+// Weights returns a copy of the per-cell weight vector.
+func (p *Profile) Weights() []float64 { return append([]float64(nil), p.weights...) }
+
+// Rates returns the cell's voice and data arrival rates at time t:
+// baseline * weight(cell) * scale(t). Out-of-range cells see rate 0.
+func (p *Profile) Rates(cell int, t float64) (float64, float64) {
+	if cell < 0 || cell >= len(p.weights) {
+		return 0, 0
+	}
+	f := p.weights[cell] * p.scale(t)
+	return p.voice * f, p.data * f
+}
+
+// NextChange returns the earliest time strictly after t at which the scale —
+// and with it every cell's rates — changes, or +Inf for constant profiles.
+func (p *Profile) NextChange(t float64) float64 {
+	if len(p.steps) == 0 {
+		return math.Inf(1)
+	}
+	if p.period > 0 {
+		k := math.Floor(t / p.period)
+		for {
+			for _, st := range p.steps {
+				if b := k*p.period + st.AtSec; b > t {
+					return b
+				}
+			}
+			k++
+		}
+	}
+	for _, st := range p.steps {
+		if st.AtSec > t {
+			return st.AtSec
+		}
+	}
+	return math.Inf(1)
+}
+
+// scale returns the temporal multiplier at time t: the Scale of the last step
+// at or before t (periodic profiles fold t into one period first). Times
+// before the schedule — possible only for negative t — scale by 1.
+func (p *Profile) scale(t float64) float64 {
+	if len(p.steps) == 0 {
+		return 1
+	}
+	if p.period > 0 {
+		t = t - math.Floor(t/p.period)*p.period
+	}
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].AtSec > t })
+	if i == 0 {
+		return 1
+	}
+	return p.steps[i-1].Scale
+}

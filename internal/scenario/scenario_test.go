@@ -1,0 +1,292 @@
+package scenario
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func topo19(t *testing.T) *cluster.Topology {
+	t.Helper()
+	topo, err := cluster.Preset(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestUniformIsExactlyBaseline pins the bit-exactness contract: the uniform
+// scenario must return the baseline rates unchanged (weight and scale exactly
+// 1), so a uniform run reproduces the profile-less simulator bit for bit.
+func TestUniformIsExactlyBaseline(t *testing.T) {
+	spec, err := Preset(Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Compile(topo19(t), 0.475, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := 0; cell < p.NumCells(); cell++ {
+		for _, at := range []float64{0, 123.456, 1e6} {
+			v, d := p.Rates(cell, at)
+			if v != 0.475 || d != 0.025 {
+				t.Fatalf("cell %d at %v: rates (%v, %v), want baseline exactly", cell, at, v, d)
+			}
+		}
+	}
+	if !math.IsInf(p.NextChange(0), 1) {
+		t.Error("uniform scenario should never change rates")
+	}
+}
+
+// TestHotspotDecaysWithHexDistance checks the radial shape: the center cell
+// carries the peak weight and weights fall off monotonically in hex distance.
+func TestHotspotDecaysWithHexDistance(t *testing.T) {
+	topo := topo19(t)
+	spec := Spec{Spatial: Spatial{Kind: Hotspot, Center: 0, Peak: 4, Decay: 1.5}}
+	p, err := spec.Compile(topo, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Weights()
+	if w[0] != 4 {
+		t.Errorf("center weight %v, want the peak 4", w[0])
+	}
+	dist := topo.Distances(0)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[0] {
+			t.Errorf("cell %d (distance %d) weight %v not below the peak", i, dist[i], w[i])
+		}
+		for j := range w {
+			if dist[j] > dist[i] && w[j] >= w[i] {
+				t.Errorf("weight must decay with distance: cell %d (d=%d, w=%v) vs cell %d (d=%d, w=%v)",
+					i, dist[i], w[i], j, dist[j], w[j])
+			}
+		}
+		if w[i] < 1 {
+			t.Errorf("hotspot weights stay above the baseline, got %v", w[i])
+		}
+	}
+}
+
+// TestGradientInterpolatesByDistance checks the linear shape between the
+// center cell and the cells at the cluster's eccentricity.
+func TestGradientInterpolatesByDistance(t *testing.T) {
+	topo := topo19(t)
+	spec := Spec{Spatial: Spatial{Kind: Gradient, Center: 0, Low: 0.5, High: 1.5}}
+	p, err := spec.Compile(topo, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Weights()
+	dist := topo.Distances(0)
+	ecc := topo.Eccentricity(0)
+	for i := range w {
+		want := 0.5 + 1.0*float64(dist[i])/float64(ecc)
+		if math.Abs(w[i]-want) > 1e-12 {
+			t.Errorf("cell %d: weight %v, want %v", i, w[i], want)
+		}
+	}
+}
+
+// TestNormalizePreservesAggregateLoad checks that a normalized shape keeps
+// the cluster-aggregate load of the uniform scenario: the weights average 1.
+func TestNormalizePreservesAggregateLoad(t *testing.T) {
+	topo := topo19(t)
+	for _, spec := range []Spec{
+		{Spatial: Spatial{Kind: Hotspot, Center: 0, Peak: 6, Decay: 2, Normalize: true}},
+		{Spatial: Spatial{Kind: Gradient, Center: 0, Low: 0.2, High: 3, Normalize: true}},
+	} {
+		p, err := spec.Compile(topo, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range p.Weights() {
+			sum += v
+		}
+		if mean := sum / float64(p.NumCells()); math.Abs(mean-1) > 1e-12 {
+			t.Errorf("%s: normalized weights average %v, want 1", spec.Spatial.Kind, mean)
+		}
+	}
+}
+
+// TestTemporalStepsAndNextChange checks the piecewise-constant schedule and
+// its boundary iterator, non-periodic and periodic.
+func TestTemporalStepsAndNextChange(t *testing.T) {
+	topo := cluster.NewHexCluster()
+	steps := []Step{{AtSec: 0, Scale: 1}, {AtSec: 100, Scale: 2}, {AtSec: 300, Scale: 0.5}}
+	spec := Spec{Temporal: Temporal{Kind: Steps, Steps: steps}}
+	p, err := spec.Compile(topo, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ at, scale, next float64 }{
+		{0, 1, 100},
+		{99.9, 1, 100},
+		{100, 2, 300},
+		{250, 2, 300},
+		{300, 0.5, math.Inf(1)},
+		{1e9, 0.5, math.Inf(1)},
+	} {
+		if v, _ := p.Rates(0, tc.at); v != tc.scale {
+			t.Errorf("scale at %v: got %v, want %v", tc.at, v, tc.scale)
+		}
+		if next := p.NextChange(tc.at); next != tc.next {
+			t.Errorf("NextChange(%v): got %v, want %v", tc.at, next, tc.next)
+		}
+	}
+
+	periodic := Spec{Temporal: Temporal{Kind: Steps, Steps: steps[:2], PeriodSec: 200}}
+	p2, err := periodic.Compile(topo, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ at, scale, next float64 }{
+		{0, 1, 100},
+		{100, 2, 200},
+		{200, 1, 300},
+		{350, 2, 400},
+	} {
+		if v, _ := p2.Rates(0, tc.at); v != tc.scale {
+			t.Errorf("periodic scale at %v: got %v, want %v", tc.at, v, tc.scale)
+		}
+		if next := p2.NextChange(tc.at); next != tc.next {
+			t.Errorf("periodic NextChange(%v): got %v, want %v", tc.at, next, tc.next)
+		}
+	}
+}
+
+// TestValidateRejectsMalformedSpecs sweeps the validation error paths.
+func TestValidateRejectsMalformedSpecs(t *testing.T) {
+	bad := []Spec{
+		{Spatial: Spatial{Kind: "volcano"}},
+		{Spatial: Spatial{Kind: Hotspot, Peak: 4}},                                       // missing decay
+		{Spatial: Spatial{Kind: Hotspot, Peak: math.Inf(1), Decay: 1}},                   // non-finite peak
+		{Spatial: Spatial{Kind: Gradient, Low: -1, High: 1}},                             // negative endpoint
+		{Spatial: Spatial{Kind: Hotspot, Peak: 2, Decay: 1, Center: -3}},                 // negative center
+		{Temporal: Temporal{Kind: "sine"}},                                               // unknown temporal kind
+		{Temporal: Temporal{Kind: Steps}},                                                // no steps
+		{Temporal: Temporal{Kind: Steps, Steps: []Step{{AtSec: 5, Scale: 1}}}},           // first step not at 0
+		{Temporal: Temporal{Kind: Steps, Steps: []Step{{0, 1}, {10, 2}, {10, 3}}}},       // not increasing
+		{Temporal: Temporal{Kind: Steps, Steps: []Step{{0, -1}}}},                        // negative scale
+		{Temporal: Temporal{Kind: Steps, Steps: []Step{{0, 1}, {50, 2}}, PeriodSec: 40}}, // step beyond period
+		{Temporal: Temporal{Kind: Constant, Steps: []Step{{0, 1}}}},                      // steps on constant
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d should be rejected: %+v", i, spec)
+		}
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("zero spec (uniform constant) should validate, got %v", err)
+	}
+}
+
+// TestCompileRejectsBadTargets checks the topology- and rate-dependent error
+// paths that Validate cannot see.
+func TestCompileRejectsBadTargets(t *testing.T) {
+	topo := cluster.NewHexCluster()
+	if _, err := (Spec{}).Compile(nil, 1, 1); err == nil {
+		t.Error("nil topology should be rejected")
+	}
+	out := Spec{Spatial: Spatial{Kind: Hotspot, Center: 7, Peak: 2, Decay: 1}}
+	if _, err := out.Compile(topo, 1, 1); err == nil {
+		t.Error("center cell outside the cluster should be rejected")
+	}
+	if _, err := (Spec{}).Compile(topo, math.NaN(), 1); err == nil {
+		t.Error("NaN baseline rate should be rejected")
+	}
+	allZero := Spec{Spatial: Spatial{Kind: Gradient, Low: 0, High: 0, Normalize: true}}
+	if _, err := allZero.Compile(topo, 1, 1); err == nil {
+		t.Error("normalizing all-zero weights should be rejected")
+	}
+}
+
+// TestParseAndLoad round-trips the JSON format and rejects unknown fields.
+func TestParseAndLoad(t *testing.T) {
+	good := []byte(`{
+		"name": "rush",
+		"spatial": {"kind": "hotspot", "center": 0, "peak": 4, "decay": 1.5},
+		"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}, {"at_sec": 900, "scale": 2}]}
+	}`)
+	s, err := Parse(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "rush" || s.Spatial.Peak != 4 || len(s.Temporal.Steps) != 2 {
+		t.Errorf("parsed spec mismatch: %+v", s)
+	}
+	if _, err := Parse([]byte(`{"spatial": {"kind": "uniform", "sigma": 2}}`)); err == nil {
+		t.Error("unknown fields should be rejected")
+	}
+	if _, err := Parse([]byte(`{"spatial": {"kind": "hotspot"}}`)); err == nil {
+		t.Error("invalid parsed specs should be rejected")
+	}
+	if _, err := Load(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing files should be reported")
+	}
+	path := t.TempDir() + "/s.json"
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Errorf("loading a valid file failed: %v", err)
+	}
+}
+
+// TestPresetsCompileEverywhere ensures every built-in scenario compiles on
+// every preset cluster size.
+func TestPresetsCompileEverywhere(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cells := range []int{7, 19, 37} {
+			topo, err := cluster.Preset(cells)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := spec.Compile(topo, 0.475, 0.025); err != nil {
+				t.Errorf("preset %q on %d cells: %v", name, cells, err)
+			}
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset should be rejected")
+	}
+}
+
+// TestApplyInstallsProfile checks the sim.Config integration: Apply splits
+// the configured aggregate rate via BaseRates and installs the profile.
+func TestApplyInstallsProfile(t *testing.T) {
+	cfg := sim.DefaultConfig(traffic.Model3, 0.5)
+	spec, err := Preset(Hotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Apply(&cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rates == nil {
+		t.Fatal("Apply should install cfg.Rates")
+	}
+	if p.NumCells() != 7 {
+		t.Errorf("nil topology should compile against the seven-cell cluster, got %d cells", p.NumCells())
+	}
+	voice, data := cfg.BaseRates()
+	v, d := p.Rates(0, 0)
+	if v != voice*4 || d != data*4 {
+		t.Errorf("center rates (%v, %v), want baseline * peak (%v, %v)", v, d, voice*4, data*4)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("configuration with scenario profile should validate: %v", err)
+	}
+}

@@ -5,18 +5,45 @@
 // all processes in bounded time windows no longer than the lookahead: inside
 // a window every process runs independently (processes are grouped into
 // shards, one worker per shard), and at the window barrier the messages
-// produced by the window are merged in a deterministic order — by timestamp,
-// then source process id, then per-source sequence number — and handed to
-// their destination processes. Because a message sent at time t arrives no
-// earlier than t + lookahead, no message can arrive inside the window that
-// produced it, so every process observes exactly the same inputs regardless
-// of how processes are grouped into shards or how shards are scheduled onto
-// workers: results are bit-identical for a fixed (model, lookahead) across
-// shard layouts and worker counts.
+// produced by the window are merged and handed to their destination
+// processes.
+//
+// # Determinism contract
+//
+// For a fixed (model, lookahead) the engine produces bit-identical results
+// across every shard layout and worker count — including Shards = 1, the
+// serial special case. Three mechanisms combine to guarantee this:
+//
+//   - Lookahead window: the window length never exceeds the minimum
+//     cross-process message delay (for internal/sim, the handover latency
+//     HandoverLatencySec). A message sent at time t arrives no earlier than
+//     t + lookahead, so no message can arrive inside the window that
+//     produced it, and every process's intra-window execution is
+//     independent of all concurrent processes.
+//
+//   - Deterministic merge order: at the window barrier, the messages of the
+//     finished window are sorted by (timestamp, source process id,
+//     per-source sequence number) before delivery. Every source numbers its
+//     messages with a strictly increasing counter, so the sort key is a
+//     total order and the delivery sequence never depends on which worker
+//     finished first.
+//
+//   - Process-private state: Advance and Deliver are never invoked
+//     concurrently for one process, and processes share no mutable state
+//     (in internal/sim, every cell also draws from its own random variate
+//     substreams), so a process's sample path depends only on its own
+//     calendar and the merged message sequence.
+//
+// Violations of the lookahead bound are detected at the barrier and
+// reported as ErrLookaheadViolated rather than silently reordering events.
 //
 // The package is model-agnostic: internal/sim builds its multi-cell GPRS
 // simulator on top of it with one process per cell and handovers as the
 // cross-process messages, the minimum handover latency serving as lookahead.
+// The contract holds for every workload the model expresses — internal/sim
+// exercises it under uniform, hotspot, gradient, and time-varying arrival
+// scenarios (internal/scenario), whose rate profiles are pure functions and
+// therefore shard-invariant.
 package shard
 
 import (

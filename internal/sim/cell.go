@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"repro/internal/des"
 	"repro/internal/radio"
 	"repro/internal/stats"
@@ -160,35 +162,50 @@ func (c *cell) schedule(delay float64, action func()) *des.Event {
 	return ev
 }
 
-// start arms the fresh-arrival Poisson processes of the cell.
+// start arms the fresh-arrival Poisson processes of the cell under its rate
+// profile.
 func (c *cell) start() {
-	cfg := c.env.conf()
-	gsmRate := (1 - cfg.GPRSFraction) * cfg.TotalCallRate
-	gprsRate := cfg.GPRSFraction * cfg.TotalCallRate
-	if gsmRate > 0 {
-		c.scheduleNextGSMArrival(gsmRate)
-	}
-	if gprsRate > 0 {
-		c.scheduleNextGPRSArrival(gprsRate)
-	}
+	c.armArrival(true)
+	c.armArrival(false)
 }
 
-// scheduleNextGSMArrival arms the Poisson arrival process of fresh GSM calls.
-func (c *cell) scheduleNextGSMArrival(rate float64) {
+// armArrival schedules the next fresh arrival of one class (GSM voice calls
+// or GPRS session requests) under the cell's piecewise-constant rate profile.
+// Within a constant-rate segment the next arrival is one exponential gap
+// away; a gap that crosses the next rate-change boundary is discarded and the
+// process re-arms at the boundary with the new rate — exact for
+// piecewise-constant rates by the memorylessness of the exponential. Under a
+// constant profile the boundary is +Inf, so the code draws exactly one
+// variate per arrival, reproducing the fixed-rate arrival stream bit for bit.
+// All decisions depend only on the cell's own stream and the (pure) profile,
+// which keeps the serial and sharded engines bit-identical.
+func (c *cell) armArrival(voice bool) {
+	prof := c.env.conf().Rates
+	now := c.now()
+	rate, dataRate := prof.Rates(c.id, now)
+	if !voice {
+		rate = dataRate
+	}
+	rearm := func() { c.armArrival(voice) }
+	if rate <= 0 {
+		// No arrivals in this segment; wake up when the rates next change.
+		if bound := prof.NextChange(now); !math.IsInf(bound, 1) {
+			c.schedule(bound-now, rearm)
+		}
+		return
+	}
 	gap := c.streams.arrival.Exponential(1 / rate)
+	if bound := prof.NextChange(now); now+gap >= bound {
+		c.schedule(bound-now, rearm)
+		return
+	}
 	c.schedule(gap, func() {
-		c.gsmArrival()
-		c.scheduleNextGSMArrival(rate)
-	})
-}
-
-// scheduleNextGPRSArrival arms the Poisson arrival process of fresh GPRS
-// session requests.
-func (c *cell) scheduleNextGPRSArrival(rate float64) {
-	gap := c.streams.arrival.Exponential(1 / rate)
-	c.schedule(gap, func() {
-		c.gprsArrival()
-		c.scheduleNextGPRSArrival(rate)
+		if voice {
+			c.gsmArrival()
+		} else {
+			c.gprsArrival()
+		}
+		rearm()
 	})
 }
 

@@ -43,6 +43,15 @@ type Config struct {
 	GSMDwellTimeSec    float64
 	GPRSDwellTimeSec   float64
 
+	// Rates, when non-nil, overrides the homogeneous fresh-arrival load
+	// derived from TotalCallRate and GPRSFraction with per-cell,
+	// time-dependent arrival rates (hotspot cells, load gradients, busy-hour
+	// ramps — see internal/scenario). A nil value means the uniform constant
+	// profile BaseRates(), the symmetric load of the paper. Handover, dwell,
+	// and service parameters are unaffected. Implementations must satisfy the
+	// RateProfile contract (piecewise constant, concurrency-safe, pure).
+	Rates RateProfile
+
 	// HandoverLatencySec is the service interruption of a handover: the time
 	// a user is in transit between the source and the target cell, occupying
 	// resources in neither (default 100 ms, the classic GSM handover
@@ -124,6 +133,10 @@ func (c Config) withDefaults() Config {
 	if c.UplinkDelaySec <= 0 {
 		c.UplinkDelaySec = 0.1
 	}
+	if c.Rates == nil {
+		voice, data := c.BaseRates()
+		c.Rates = uniformRates{voice: voice, data: data}
+	}
 	if c.WarmupSec < 0 {
 		c.WarmupSec = 0
 	}
@@ -179,6 +192,15 @@ func (c Config) Validate() error {
 	if c.Topology != nil {
 		if err := c.Topology.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	if c.Rates != nil {
+		cells := cluster.NewHexCluster().NumCells()
+		if c.Topology != nil {
+			cells = c.Topology.NumCells()
+		}
+		if err := validateRates(c.Rates, cells); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -50,6 +50,49 @@ type Results struct {
 	TCPFastRecovers  int64
 	SimulatedSec     float64
 	Events           uint64
+
+	// PerCell reports every cell of the cluster over the measurement period,
+	// indexed by cell id. Under the paper's symmetric load all cells are
+	// statistically identical and only the mid cell is of interest; under
+	// heterogeneous scenarios (hotspot cells, load gradients — see
+	// internal/scenario) the spatial shape of the response is the result.
+	PerCell []CellMeasures
+}
+
+// CellMeasures summarizes one cell of the cluster over the whole measurement
+// period. Unlike the mid-cell intervals of Results these are point estimates
+// (time averages and ratios of totals); cross-replication confidence
+// intervals over them come from the runner package.
+type CellMeasures struct {
+	// Cell is the cell id (cluster.MidCell is the measured mid cell).
+	Cell int
+	// CarriedDataTraffic is the time-average number of PDCHs transmitting
+	// data in this cell.
+	CarriedDataTraffic float64
+	// MeanQueueLength is the time-average BSC buffer occupancy in packets.
+	MeanQueueLength float64
+	// CarriedVoiceTraffic is the time-average number of busy voice channels.
+	CarriedVoiceTraffic float64
+	// AverageSessions is the time-average number of active GPRS sessions.
+	AverageSessions float64
+	// PacketLossProbability is the fraction of packets offered to this cell's
+	// BSC buffer that were dropped.
+	PacketLossProbability float64
+	// QueueingDelaySec is the mean buffer time of the packets this cell
+	// delivered.
+	QueueingDelaySec float64
+	// ThroughputBits is the data rate this cell delivered in bit/s.
+	ThroughputBits float64
+	// GSMBlocking and GPRSBlocking are the fresh-arrival blocking fractions.
+	GSMBlocking  float64
+	GPRSBlocking float64
+
+	// Counter totals over the measurement period.
+	PacketsOffered   int64
+	PacketsLost      int64
+	PacketsDelivered int64
+	HandoversIn      int64
+	HandoversOut     int64
 }
 
 // String renders the results as a small table.

@@ -1,0 +1,250 @@
+// Cross-engine equivalence of the workload-scenario layer: for every
+// built-in scenario generator the serial single-calendar engine and the
+// sharded engine must produce bit-identical results (the determinism contract
+// of internal/shard extends to heterogeneous, time-varying load), and the
+// uniform scenario must reproduce the profile-less simulator exactly. The
+// tests live in an external test package because internal/scenario imports
+// internal/sim.
+package sim_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// scenarioQuickConfig returns a short heterogeneous-load run on the given
+// preset cluster size.
+func scenarioQuickConfig(t *testing.T, cells int) sim.Config {
+	t.Helper()
+	topo, err := cluster.Preset(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(traffic.Model3, 0.5)
+	cfg.Topology = topo
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	cfg.MaxSessions = 10
+	cfg.WarmupSec = 200
+	cfg.MeasurementSec = 600
+	cfg.Batches = 5
+	cfg.Seed = 7
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg sim.Config, shards int) sim.Results {
+	t.Helper()
+	res, err := sim.RunOnce(cfg, sim.ShardedOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestScenariosSerialShardedBitIdentical is the acceptance contract of the
+// scenario layer: for every built-in scenario, serial and sharded runs of the
+// same configuration are bit-identical — per-cell measures included. -short
+// checks the seven-cell cluster; the full run adds the 19-cell hex ring with
+// several shard layouts.
+func TestScenariosSerialShardedBitIdentical(t *testing.T) {
+	sizes := []int{7}
+	shardCounts := []int{3}
+	if !testing.Short() {
+		sizes = append(sizes, 19)
+		shardCounts = append(shardCounts, 2, 4)
+	}
+	for _, name := range scenario.Names() {
+		spec, err := scenario.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cells := range sizes {
+			cfg := scenarioQuickConfig(t, cells)
+			if _, err := scenario.Apply(&cfg, spec); err != nil {
+				t.Fatal(err)
+			}
+			serial := mustRun(t, cfg, 1)
+			if serial.Events == 0 {
+				t.Fatalf("%s on %d cells: degenerate run", name, cells)
+			}
+			if got := len(serial.PerCell); got != cells {
+				t.Fatalf("%s on %d cells: %d per-cell reports", name, cells, got)
+			}
+			for _, shards := range shardCounts {
+				sharded := mustRun(t, cfg, shards)
+				if !reflect.DeepEqual(sharded, serial) {
+					t.Errorf("%s on %d cells: sharded (%d shards) differs from serial engine", name, cells, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestUniformScenarioReproducesBaseline pins the regression contract: the
+// uniform scenario is the paper's symmetric load, so installing it must not
+// change a single bit of the results relative to a profile-less run (the
+// exact numbers of the pre-scenario simulator).
+func TestUniformScenarioReproducesBaseline(t *testing.T) {
+	for _, cells := range []int{7, 19} {
+		if cells != 7 && testing.Short() {
+			continue
+		}
+		base := scenarioQuickConfig(t, cells)
+		baseline := mustRun(t, base, 1)
+
+		withScenario := scenarioQuickConfig(t, cells)
+		spec, err := scenario.Preset(scenario.Uniform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := scenario.Apply(&withScenario, spec); err != nil {
+			t.Fatal(err)
+		}
+		got := mustRun(t, withScenario, 1)
+		if !reflect.DeepEqual(got, baseline) {
+			t.Errorf("%d cells: uniform scenario perturbed the baseline results", cells)
+		}
+		gotSharded := mustRun(t, withScenario, 3)
+		if !reflect.DeepEqual(gotSharded, baseline) {
+			t.Errorf("%d cells: sharded uniform scenario perturbed the baseline results", cells)
+		}
+	}
+}
+
+// TestHotspotShapesPerCellLoad checks that the hotspot scenario actually
+// shows up in the per-cell report: the peak cell carries more voice and data
+// load than the cells farthest from it.
+func TestHotspotShapesPerCellLoad(t *testing.T) {
+	cfg := scenarioQuickConfig(t, 7)
+	cfg.MeasurementSec = 1500
+	spec, err := scenario.Preset(scenario.Hotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := scenario.Apply(&cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, cfg, 1)
+	center := spec.Spatial.Center
+	if w := prof.Weights(); w[center] <= 1 {
+		t.Fatalf("hotspot preset should overload the center, weights %v", w)
+	}
+	edge := cfg.Topology.Distances(center)
+	var centerCVT, edgeCVT float64
+	var edgeCells int
+	for i, m := range res.PerCell {
+		if i == center {
+			centerCVT = m.CarriedVoiceTraffic
+			continue
+		}
+		if edge[i] == cfg.Topology.Eccentricity(center) {
+			edgeCVT += m.CarriedVoiceTraffic
+			edgeCells++
+		}
+	}
+	if edgeCells == 0 {
+		t.Fatal("no edge cells found")
+	}
+	edgeCVT /= float64(edgeCells)
+	if centerCVT <= edgeCVT {
+		t.Errorf("hotspot center should carry more voice traffic: center %.3f, edge mean %.3f", centerCVT, edgeCVT)
+	}
+}
+
+// TestTimeVaryingProfileGatesArrivals drives the zero-rate and rate-change
+// paths of the arrival generator: with scale 0 until deep into the run, no
+// fresh arrivals may happen before the step, and the busy-hour ramp must
+// change the sample path relative to the constant profile.
+func TestTimeVaryingProfileGatesArrivals(t *testing.T) {
+	// Scale 0 for the whole warm-up plus measurement: the run stays silent.
+	cfg := scenarioQuickConfig(t, 7)
+	silent := scenario.Spec{Temporal: scenario.Temporal{Kind: scenario.Steps,
+		Steps: []scenario.Step{{AtSec: 0, Scale: 0}}}}
+	if _, err := scenario.Apply(&cfg, silent); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, cfg, 1)
+	if res.PacketsOffered != 0 || res.CarriedVoiceTraffic.Mean != 0 {
+		t.Errorf("zero-rate profile should produce no traffic, got %+v", res)
+	}
+
+	// Scale 0 until mid-run, then 1: traffic appears, and the run differs
+	// from the always-on baseline.
+	lateStart := scenario.Spec{Temporal: scenario.Temporal{Kind: scenario.Steps,
+		Steps: []scenario.Step{{AtSec: 0, Scale: 0}, {AtSec: 400, Scale: 1}}}}
+	cfgLate := scenarioQuickConfig(t, 7)
+	if _, err := scenario.Apply(&cfgLate, lateStart); err != nil {
+		t.Fatal(err)
+	}
+	late := mustRun(t, cfgLate, 1)
+	if late.PacketsOffered == 0 {
+		t.Error("arrivals should resume once the scale steps to 1")
+	}
+	baseline := mustRun(t, scenarioQuickConfig(t, 7), 1)
+	if reflect.DeepEqual(late, baseline) {
+		t.Error("a gated profile should change the sample path")
+	}
+	if sharded := mustRun(t, cfgLate, 3); !reflect.DeepEqual(sharded, late) {
+		t.Error("time-varying profile must stay engine-independent")
+	}
+}
+
+// TestMismatchedProfileRejected guards the validation hole a sized profile
+// closes: a profile compiled for a smaller cluster than the configured
+// topology would silently zero the extra cells' traffic, so the simulator
+// must refuse to build.
+func TestMismatchedProfileRejected(t *testing.T) {
+	spec, err := scenario.Preset(scenario.Hotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := spec.Compile(cluster.NewHexCluster(), 0.475, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenarioQuickConfig(t, 19)
+	cfg.Rates = prof
+	if _, err := sim.New(cfg); err == nil {
+		t.Error("a 7-cell profile on a 19-cell topology should be rejected")
+	}
+	if _, err := sim.NewSharded(cfg, sim.ShardedOptions{Shards: 2}); err == nil {
+		t.Error("the sharded engine should reject the mismatch too")
+	}
+}
+
+// TestPerCellReportIsConsistent cross-checks the per-cell report against the
+// established mid-cell measures on a symmetric run.
+func TestPerCellReportIsConsistent(t *testing.T) {
+	cfg := scenarioQuickConfig(t, 7)
+	res := mustRun(t, cfg, 1)
+	if len(res.PerCell) != 7 {
+		t.Fatalf("expected 7 per-cell reports, got %d", len(res.PerCell))
+	}
+	mid := res.PerCell[cluster.MidCell]
+	if mid.Cell != cluster.MidCell {
+		t.Errorf("per-cell report misindexed: %+v", mid)
+	}
+	if mid.PacketsOffered != res.PacketsOffered || mid.PacketsLost != res.PacketsLost ||
+		mid.PacketsDelivered != res.PacketsDelivered {
+		t.Errorf("mid-cell packet totals disagree: %+v vs %+v", mid, res)
+	}
+	if mid.HandoversIn != res.HandoversIn || mid.HandoversOut != res.HandoversOut {
+		t.Errorf("mid-cell handover totals disagree: %+v vs %+v", mid, res)
+	}
+	if math.Abs(mid.CarriedVoiceTraffic-res.CarriedVoiceTraffic.Mean) > 1e-9 {
+		t.Errorf("mid-cell CVT %.6f disagrees with batch-means %.6f",
+			mid.CarriedVoiceTraffic, res.CarriedVoiceTraffic.Mean)
+	}
+	for _, m := range res.PerCell {
+		if m.CarriedVoiceTraffic <= 0 || m.ThroughputBits <= 0 {
+			t.Errorf("cell %d: implausible symmetric-load measures %+v", m.Cell, m)
+		}
+	}
+}

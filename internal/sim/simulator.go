@@ -113,14 +113,27 @@ func collectRun(e engineCore) (Results, error) {
 
 	mid := cells[cluster.MidCell]
 	acc := newBatchAccumulator(cfg.ConfidenceLevel)
-	snap := mid.resetBatchWindow(warmupEnd)
-	warmStart := mid.snapshot()
-	handoversInStart := mid.handoversIn
-	handoversOutStart := mid.handoversOut
+
+	// Reset every cell's measurement window at the end of the warm-up and
+	// keep its counter snapshot, so each cell — not only the mid cell — can
+	// be reported over the measurement period. Resetting touches only the
+	// time-weighted statistics, never the event flow, so mid-cell results are
+	// unaffected by the extra bookkeeping.
+	perStart := make([]cellSnapshot, len(cells))
+	hoInStart := make([]int64, len(cells))
+	hoOutStart := make([]int64, len(cells))
+	for i, c := range cells {
+		perStart[i] = c.resetBatchWindow(warmupEnd)
+		hoInStart[i] = c.handoversIn
+		hoOutStart[i] = c.handoversOut
+	}
+	snap := perStart[cluster.MidCell]
+	warmStart := snap
 
 	batchDur := cfg.MeasurementSec / float64(cfg.Batches)
+	end := warmupEnd
 	for b := 1; b <= cfg.Batches; b++ {
-		end := warmupEnd + float64(b)*batchDur
+		end = warmupEnd + float64(b)*batchDur
 		if err := e.advanceTo(end); err != nil {
 			return Results{}, err
 		}
@@ -133,13 +146,60 @@ func collectRun(e engineCore) (Results, error) {
 	res.PacketsOffered = final.offered - warmStart.offered
 	res.PacketsLost = final.lost - warmStart.lost
 	res.PacketsDelivered = final.delivered - warmStart.delivered
-	res.HandoversIn = mid.handoversIn - handoversInStart
-	res.HandoversOut = mid.handoversOut - handoversOutStart
+	res.HandoversIn = mid.handoversIn - hoInStart[cluster.MidCell]
+	res.HandoversOut = mid.handoversOut - hoOutStart[cluster.MidCell]
 	for _, c := range cells {
 		res.TCPTimeouts += c.tcpTimeouts
 		res.TCPFastRecovers += c.tcpFastRecovers
 	}
 	res.SimulatedSec = cfg.MeasurementSec
 	res.Events = e.processedEvents()
+	res.PerCell = perCellMeasures(cells, acc, perStart, hoInStart, hoOutStart, end, cfg.MeasurementSec)
 	return res, nil
+}
+
+// perCellMeasures assembles the per-cell report at the end of a run. Non-mid
+// cells report their time-weighted statistics directly over the measurement
+// window (their windows were reset once, at the end of the warm-up); the mid
+// cell's window is reset at every batch boundary, so its time averages come
+// from the batch accumulator — the mean over equal-length batches equals the
+// whole-window average.
+func perCellMeasures(cells []*cell, acc *batchAccumulator, perStart []cellSnapshot,
+	hoInStart, hoOutStart []int64, end, measurementSec float64) []CellMeasures {
+	out := make([]CellMeasures, len(cells))
+	for i, c := range cells {
+		cur := c.snapshot()
+		m := CellMeasures{Cell: i}
+		if i == cluster.MidCell {
+			m.CarriedDataTraffic = acc.cdt.Mean()
+			m.MeanQueueLength = acc.queueLen.Mean()
+			m.CarriedVoiceTraffic = acc.cvt.Mean()
+			m.AverageSessions = acc.ags.Mean()
+		} else {
+			m.CarriedDataTraffic = c.pdchUsage.Mean(end)
+			m.MeanQueueLength = c.queueLen.Mean(end)
+			m.CarriedVoiceTraffic = c.voiceOcc.Mean(end)
+			m.AverageSessions = c.sessOcc.Mean(end)
+		}
+		m.PacketsOffered = cur.offered - perStart[i].offered
+		m.PacketsLost = cur.lost - perStart[i].lost
+		m.PacketsDelivered = cur.delivered - perStart[i].delivered
+		m.HandoversIn = c.handoversIn - hoInStart[i]
+		m.HandoversOut = c.handoversOut - hoOutStart[i]
+		if m.PacketsOffered > 0 {
+			m.PacketLossProbability = float64(m.PacketsLost) / float64(m.PacketsOffered)
+		}
+		if m.PacketsDelivered > 0 {
+			m.QueueingDelaySec = (cur.delaySum - perStart[i].delaySum) / float64(m.PacketsDelivered)
+		}
+		m.ThroughputBits = float64(m.PacketsDelivered) * float64(traffic.PacketSizeBits) / measurementSec
+		if gsmArr := cur.gsmArrivals - perStart[i].gsmArrivals; gsmArr > 0 {
+			m.GSMBlocking = float64(cur.gsmBlocked-perStart[i].gsmBlocked) / float64(gsmArr)
+		}
+		if gprsArr := cur.gprsArrivals - perStart[i].gprsArrivals; gprsArr > 0 {
+			m.GPRSBlocking = float64(cur.gprsBlocked-perStart[i].gprsBlocked) / float64(gprsArr)
+		}
+		out[i] = m
+	}
+	return out
 }
