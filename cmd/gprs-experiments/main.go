@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -54,7 +55,12 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "concurrent model solutions and simulator runs (0 = NumCPU)")
 		noSim   = fs.Bool("no-sim", false, "skip the detailed-simulator series of figs 5 and 6")
 		tol     = fs.Float64("tol", 0, "steady-state solver tolerance (0 = default)")
-		reps    = fs.Int("replications", 0, "independent simulator replications per point (0 = fidelity default)")
+		reps    = fs.Int("replications", 0, "independent simulator replications per point (0 = fidelity default; ignored with -precision)")
+		prec    = fs.Float64("precision", 0, "adaptive stopping: relative CI half-width target for -target (0 = fixed -replications)")
+		minReps = fs.Int("min-reps", 0, "adaptive mode: replications in the first batch (0 = 4)")
+		maxReps = fs.Int("max-reps", 0, "adaptive mode: replication cap (0 = 64)")
+		vrName  = fs.String("vr", "none", "variance reduction for simulator points: none, antithetic, control")
+		target  = fs.String("target", "throughput", "measure watched by -precision: "+strings.Join(runner.MeasureNames(), ", "))
 		seed    = fs.Int64("seed", 1, "base seed of the simulator replications")
 		cells   = fs.Int("cells", 0, "simulated cluster size: 0/7 (paper), 19 or 37 (wrap-around hex rings)")
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per simulator replication (1 = serial engine)")
@@ -63,6 +69,14 @@ func run(args []string) error {
 		quiet   = fs.Bool("quiet", false, "suppress progress output on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	vr, err := runner.ParseVR(*vrName)
+	if err != nil {
+		return err
+	}
+	targetMeasure, err := runner.ParseMeasure(*target)
+	if err != nil {
 		return err
 	}
 	if *cells != 0 {
@@ -76,14 +90,19 @@ func run(args []string) error {
 
 	start := time.Now()
 	opts := experiments.Options{
-		Fidelity:       experiments.Quick,
-		Workers:        *workers,
-		WithSimulation: !*noSim,
-		Tolerance:      *tol,
-		Replications:   *reps,
-		SimSeed:        *seed,
-		Cells:          *cells,
-		Shards:         *shards,
+		Fidelity:        experiments.Quick,
+		Workers:         *workers,
+		WithSimulation:  !*noSim,
+		Tolerance:       *tol,
+		Replications:    *reps,
+		Precision:       *prec,
+		Target:          targetMeasure,
+		MinReplications: *minReps,
+		MaxReplications: *maxReps,
+		VR:              vr,
+		SimSeed:         *seed,
+		Cells:           *cells,
+		Shards:          *shards,
 	}
 	if *full {
 		opts.Fidelity = experiments.Full

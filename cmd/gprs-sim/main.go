@@ -13,12 +13,22 @@
 // (hotspot cells, load gradients, busy-hour ramps) and -scenario-file loads
 // one from a JSON file; serial and sharded engines stay bit-identical under
 // every scenario, and -percell prints the per-cell report that makes the
-// spatial response visible.
+// spatial response visible (with cross-replication confidence half-widths
+// when more than one replication ran).
+//
+// -precision enables the adaptive stopping rule: instead of a fixed
+// -replications count, replications are added in batches until the relative
+// confidence half-width of the -target measure drops below the threshold,
+// within [-min-reps, -max-reps]. -vr selects a variance-reduction scheme
+// (antithetic replication pairs, or the Erlang-B control-variate estimator).
+// See the README's "Statistical methodology" section for the estimators.
 //
 // Examples:
 //
 //	gprs-sim -model 3 -rate 0.5 -pdch 1 -measure 20000
 //	gprs-sim -rate 0.5 -replications 8 -workers 4
+//	gprs-sim -rate 0.5 -precision 0.05 -max-reps 32
+//	gprs-sim -rate 0.5 -precision 0.05 -vr antithetic
 //	gprs-sim -rate 0.5 -cells 19 -shards 4
 //	gprs-sim -rate 0.5 -cells 19 -scenario hotspot -percell
 //	gprs-sim -rate 0.5 -scenario-file rush.json
@@ -34,6 +44,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -63,8 +74,21 @@ func run(args []string) error {
 		scnName = fs.String("scenario", "", "built-in workload scenario: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
 		perCell = fs.Bool("percell", false, "print the per-cell report after the mid-cell measures")
+		prec    = fs.Float64("precision", 0, "adaptive stopping: relative CI half-width target for -target (0 = fixed -replications)")
+		minReps = fs.Int("min-reps", 0, "adaptive mode: replications in the first batch (0 = 4)")
+		maxReps = fs.Int("max-reps", 0, "adaptive mode: replication cap (0 = 64)")
+		vrName  = fs.String("vr", "none", "variance reduction: none, antithetic, control")
+		target  = fs.String("target", "throughput", "measure watched by -precision: "+strings.Join(runner.MeasureNames(), ", "))
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	vr, err := runner.ParseVR(*vrName)
+	if err != nil {
+		return err
+	}
+	targetMeasure, err := runner.ParseMeasure(*target)
+	if err != nil {
 		return err
 	}
 
@@ -96,10 +120,14 @@ func run(args []string) error {
 	if *reps < 1 {
 		*reps = 1
 	}
-	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d cells, %d reserved PDCHs, TCP %v, %d replication(s), scenario %s...\n",
-		traffic.Model(*modelID), *rate, *cells, *pdch, cfg.EnableTCP, *reps, scenarioLabel)
+	repsLabel := fmt.Sprintf("%d replication(s)", *reps)
+	if *prec > 0 {
+		repsLabel = fmt.Sprintf("adaptive replications (%.3g relative half-width on %s)", *prec, targetMeasure)
+	}
+	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d cells, %d reserved PDCHs, TCP %v, %s, scenario %s...\n",
+		traffic.Model(*modelID), *rate, *cells, *pdch, cfg.EnableTCP, repsLabel, scenarioLabel)
 
-	if *reps <= 1 {
+	if *reps <= 1 && *prec <= 0 && vr == runner.VRNone {
 		// A single run bypasses runner.Run deliberately: it uses cfg.Seed
 		// directly (not the SeedFor substream of a base seed) and reports
 		// batch-means intervals, matching the pre-replication-engine
@@ -110,16 +138,21 @@ func run(args []string) error {
 		}
 		fmt.Print(res.String())
 		if *perCell {
-			printPerCell(res.PerCell)
+			printPerCell(res.PerCell, nil)
 		}
 		return nil
 	}
 
 	sum, err := runner.Run(cfg, runner.Options{
-		Replications: *reps,
-		Workers:      *workers,
-		BaseSeed:     *seed,
-		Shards:       *shards,
+		Replications:    *reps,
+		Workers:         *workers,
+		BaseSeed:        *seed,
+		Shards:          *shards,
+		Precision:       *prec,
+		Target:          targetMeasure,
+		MinReplications: *minReps,
+		MaxReplications: *maxReps,
+		VR:              vr,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "replication %d/%d done\n", done, total)
 		},
@@ -129,7 +162,7 @@ func run(args []string) error {
 	}
 	fmt.Print(sum.String())
 	if *perCell {
-		printPerCell(sum.Merged.PerCell)
+		printPerCell(sum.Merged.PerCell, sum.Merged.PerCellCI)
 	}
 	return nil
 }
@@ -167,14 +200,38 @@ func describeProfile(spec scenario.Spec, prof *scenario.Profile) string {
 	return fmt.Sprintf("%q (cell weights %.3g..%.3g)", name, lo, hi)
 }
 
-// printPerCell renders the per-cell report as a small table.
-func printPerCell(cells []sim.CellMeasures) {
-	fmt.Printf("per-cell measures:\n")
-	fmt.Printf("  %4s %8s %8s %8s %8s %10s %12s %8s\n",
+// printPerCell renders the per-cell report as a small table. When the
+// cross-replication intervals are available (replicated runs; see
+// sim.Results.PerCellCI), every point estimate carries its confidence
+// half-width; a single run prints bare point estimates.
+func printPerCell(cells []sim.CellMeasures, cis []sim.CellIntervals) {
+	if len(cis) != len(cells) {
+		fmt.Printf("per-cell measures:\n")
+		fmt.Printf("  %4s %8s %8s %8s %8s %10s %12s %8s\n",
+			"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in")
+		for _, m := range cells {
+			fmt.Printf("  %4d %8.3f %8.3f %8.3f %8.3f %10.4f %12.0f %8d\n",
+				m.Cell, m.CarriedVoiceTraffic, m.AverageSessions, m.CarriedDataTraffic,
+				m.MeanQueueLength, m.GSMBlocking, m.ThroughputBits, m.HandoversIn)
+		}
+		return
+	}
+	fmt.Printf("per-cell measures (± cross-replication CI half-width):\n")
+	fmt.Printf("  %4s %16s %16s %16s %16s %18s %20s %8s\n",
 		"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in")
-	for _, m := range cells {
-		fmt.Printf("  %4d %8.3f %8.3f %8.3f %8.3f %10.4f %12.0f %8d\n",
-			m.Cell, m.CarriedVoiceTraffic, m.AverageSessions, m.CarriedDataTraffic,
-			m.MeanQueueLength, m.GSMBlocking, m.ThroughputBits, m.HandoversIn)
+	pm := func(v float64, iv stats.Interval) string {
+		return fmt.Sprintf("%.3f ±%.3f", v, iv.HalfWidth)
+	}
+	for i, m := range cells {
+		iv := cis[i]
+		fmt.Printf("  %4d %16s %16s %16s %16s %18s %20s %8d\n",
+			m.Cell,
+			pm(m.CarriedVoiceTraffic, iv.CarriedVoiceTraffic),
+			pm(m.AverageSessions, iv.AverageSessions),
+			pm(m.CarriedDataTraffic, iv.CarriedDataTraffic),
+			pm(m.MeanQueueLength, iv.MeanQueueLength),
+			fmt.Sprintf("%.4f ±%.4f", m.GSMBlocking, iv.GSMBlocking.HalfWidth),
+			fmt.Sprintf("%.0f ±%.0f", m.ThroughputBits, iv.ThroughputBits.HalfWidth),
+			m.HandoversIn)
 	}
 }

@@ -20,6 +20,32 @@
 // complete set of figures regenerates in a few minutes inside `go test
 // -bench`; the qualitative shape of every curve (orderings, crossovers,
 // saturation behaviour) is preserved. EXPERIMENTS.md records both.
+//
+// # Determinism contract
+//
+// Every produced figure is a pure function of its Options value — the worker
+// count, the shard count, and the scheduling of figures, sweep points, and
+// replications onto workers change only wall-clock time. The contract
+// composes from the layers below, matching internal/shard and
+// internal/runner:
+//
+//   - Model series: a steady-state solution depends only on (configuration,
+//     tolerance, iteration bound). The shared cache is single-flight
+//     memoization keyed by exactly that triple, so cache hits return the
+//     same solution the solver would have produced.
+//
+//   - Simulator series: every sweep point calls runner.Run, whose summary is
+//     bit-identical for a given (SimSeed, replication options) regardless of
+//     Workers and Shards. Adaptive precision mode (Options.Precision)
+//     preserves this: the stopping decision is a pure function of the merged
+//     results after each deterministic batch, so the realized replication
+//     count of every point — and with it every plotted value and error bar —
+//     is reproducible across machines and worker counts.
+//
+//   - Assembly: every fan-out writes into a slot pre-indexed by (series,
+//     point), errors propagate from the lowest failing index, and series
+//     built concurrently are appended in a fixed order afterwards, so figure
+//     layout never depends on completion order.
 package experiments
 
 import (
@@ -89,8 +115,26 @@ type Options struct {
 	// Replications is the number of independent simulator replications per
 	// validation point; the confidence half-widths of simulator series come
 	// from across the replications. The zero value means 3 for Quick and 5
-	// for Full.
+	// for Full. Ignored when Precision > 0.
 	Replications int
+	// Precision, when > 0, replaces the fixed replication count with the
+	// runner's adaptive stopping rule: every simulator point replicates
+	// until the relative confidence half-width of Target reaches Precision,
+	// within [MinReplications, MaxReplications]. Cheap sweep points then
+	// stop early while saturated ones keep refining.
+	Precision float64
+	// Target is the measure the stopping rule watches (default: the GPRS
+	// throughput). Ignored when Precision is 0.
+	Target runner.Measure
+	// MinReplications and MaxReplications bound the adaptive replication
+	// count; zero values use the runner defaults (4 and 64).
+	MinReplications int
+	MaxReplications int
+	// VR selects a variance-reduction scheme for every simulator point:
+	// antithetic replication pairs or the Erlang-B control-variate
+	// estimator (which requires the uniform baseline load — combining it
+	// with Scenario is an error).
+	VR runner.VarianceReduction
 	// Cells selects the simulated cluster size of the validation figures:
 	// 0 or 7 is the paper's seven-cell cluster; 19 and 37 select the
 	// generated wrap-around hex-ring clusters (cluster.Preset).
@@ -345,14 +389,26 @@ func simulateSweep(o Options, figID string, model traffic.Model, rates []float64
 			Limiter:         o.limiter,
 			Shards:          o.Shards,
 			Admission:       o.admission,
+			Precision:       o.Precision,
+			Target:          o.Target,
+			MinReplications: o.MinReplications,
+			MaxReplications: o.MaxReplications,
+			VR:              o.VR,
 		})
 		if err != nil {
 			return fmt.Errorf("simulation at rate %g: %w", rates[i], err)
 		}
 		sums[i] = sum
+		note := ""
+		if sum.Adaptive {
+			note = ", hit replication cap"
+			if sum.Converged {
+				note = fmt.Sprintf(", converged at %.2g relative half-width", sum.RelativeHalfWidth)
+			}
+		}
 		mu.Lock()
 		done++
-		o.progress("%s: simulated point %d/%d (%d replications)", figID, done, len(rates), sum.Replications)
+		o.progress("%s: simulated point %d/%d (%d replications%s)", figID, done, len(rates), sum.Replications, note)
 		mu.Unlock()
 		return nil
 	})

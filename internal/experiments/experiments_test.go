@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -361,6 +362,72 @@ func TestSimulateSweepReplicatedAndDeterministic(t *testing.T) {
 	}
 	if len(progress) != len(rates) {
 		t.Errorf("expected one progress line per point, got %v", progress)
+	}
+}
+
+// TestSimulateSweepAdaptivePrecision exercises the precision-targeted path
+// through the sweep harness: a loose target on a stable measure converges
+// below the replication cap (the CPU-saving claim), the realized counts are
+// deterministic across worker counts, and the clamped bounds reproduce the
+// fixed-R sweep bit for bit.
+func TestSimulateSweepAdaptivePrecision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	o := testOptions()
+	o.SimMeasurementSec = 300
+	o.Precision = 0.05
+	o.Target = runner.MeasureCVT
+	o.MinReplications = 4
+	o.MaxReplications = 12
+	rates := []float64{0.3, 0.6}
+
+	run := func(workers int) []runner.Summary {
+		opts := o
+		opts.Workers = workers
+		opts = opts.withDefaults()
+		sums, err := simulateSweep(opts, "adaptive", traffic.Model3, rates, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sums
+	}
+
+	one := run(1)
+	for i, sum := range one {
+		if !sum.Adaptive {
+			t.Fatalf("point %d: sweep did not run adaptively", i)
+		}
+		if !sum.Converged || sum.Replications >= o.MaxReplications {
+			t.Errorf("point %d: %d replications (converged=%v, rel hw %v) — expected convergence below the cap of %d",
+				i, sum.Replications, sum.Converged, sum.RelativeHalfWidth, o.MaxReplications)
+		}
+	}
+	if four := run(4); !reflect.DeepEqual(four, one) {
+		t.Error("adaptive sweep is not deterministic across worker counts")
+	}
+
+	// Clamped bounds == fixed-R: the stopping rule disabled by construction.
+	clamped := o
+	clamped.MinReplications = 2
+	clamped.MaxReplications = 2
+	clamped = clamped.withDefaults()
+	fixed := o
+	fixed.Precision = 0
+	fixed.Replications = 2
+	fixed = fixed.withDefaults()
+	cs, err := simulateSweep(clamped, "clamped", traffic.Model3, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := simulateSweep(fixed, "fixed", traffic.Model3, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cs {
+		if !reflect.DeepEqual(cs[i].Merged, fx[i].Merged) {
+			t.Errorf("point %d: clamped adaptive merge differs from fixed-R merge", i)
+		}
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -107,8 +106,11 @@ func HotspotFigures(o Options) ([]Figure, error) {
 // distanceSeries reduces one sweep point's per-cell report to a curve over
 // hex distance: within each replication the cells of one distance group are
 // averaged, and the cross-replication mean and confidence half-width of that
-// group average form the point. With a single replication the half-width is
-// +Inf, mirroring runner.Merge.
+// group average form the point. The group averages pass through the
+// summary's variance-reduction treatment (runner.Summary.EffectiveSamples),
+// so antithetic pairs and control-variate adjustment shrink these error bars
+// exactly like the mid-cell ones. With a single replication the half-width
+// is +Inf, mirroring runner.Merge.
 func distanceSeries(label string, distances []float64, groups map[int][]int,
 	sum runner.Summary, get func(sim.CellMeasures) float64) Series {
 	s := newSeries(label, distances)
@@ -119,18 +121,17 @@ func distanceSeries(label string, distances []float64, groups map[int][]int,
 	const level = 0.95
 	for d := range distances {
 		cells := groups[d]
-		perRep := make([]float64, 0, len(sum.PerReplication))
-		for _, rep := range sum.PerReplication {
+		samples := sum.EffectiveSamples(func(rep sim.Results) float64 {
 			if len(rep.PerCell) == 0 {
-				continue
+				return 0
 			}
 			var groupMean float64
 			for _, cell := range cells {
 				groupMean += get(rep.PerCell[cell])
 			}
-			perRep = append(perRep, groupMean/float64(len(cells)))
-		}
-		iv := stats.MeanInterval(perRep, level)
+			return groupMean / float64(len(cells))
+		})
+		iv := runner.SampleInterval(samples, level, sum.VR)
 		s.Y[d] = iv.Mean
 		s.YErr[d] = iv.HalfWidth
 	}

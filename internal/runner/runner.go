@@ -11,6 +11,16 @@
 // within a single run, replication means are independent by construction, so
 // the intervals need no warm-up-correlation caveats.
 //
+// Beyond the paper's fixed replication count, the package supports
+// precision-targeted adaptive replication (Options.Precision): replications
+// are added in deterministic batches until the relative confidence half-width
+// of a chosen target measure drops below the threshold, so cheap sweep points
+// stop early and hard ones keep refining — bounded by Options.MinReplications
+// and Options.MaxReplications. Two classic variance-reduction schemes reduce
+// the number of replications needed for a given precision (Options.VR):
+// antithetic-variate pairing of replications and an Erlang-B control-variate
+// estimator; see VarianceReduction for the estimator definitions.
+//
 // # Determinism contract
 //
 // Results are bit-identical for a given (base seed, replication count)
@@ -22,7 +32,10 @@
 //     finalization of the base seed. The derived seeds depend only on
 //     (base, i) — never on which worker picks the replication up — and
 //     consecutive indices land in well-separated regions of the generator's
-//     state space instead of on nearby seeds.
+//     state space instead of on nearby seeds. (Under antithetic pairing the
+//     unit of seeding is the pair: replications 2p and 2p+1 both run with
+//     SeedFor(base, p), one on the paired and one on the antithetic stream
+//     kind.)
 //
 //   - Worker-count invariance: results are collected into a slice indexed
 //     by replication and the merge folds them in index order, so Workers
@@ -34,6 +47,15 @@
 //     engine, which reproduces the serial engine bit for bit (see the
 //     determinism contract of internal/shard), so the engine choice is
 //     also purely a scheduling decision.
+//
+//   - Stopping-rule determinism: the adaptive mode grows the replication
+//     set along the same substream sequence (replication i exists
+//     independently of when the loop decided to run it), and the stopping
+//     decision is a pure function of the merged results after each batch.
+//     The realized replication count — and therefore every reported number
+//     — depends only on (configuration, base seed, precision, bounds, VR),
+//     never on scheduling. With the threshold disabled the fixed-R path is
+//     taken unchanged, bit for bit.
 //
 // The package also exposes the generic concurrency primitives the experiment
 // harness shares with the replication engine: Limiter, a counting semaphore
@@ -49,7 +71,6 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // SeedFor derives the seed of replication i from the base seed. The
@@ -63,7 +84,8 @@ func SeedFor(base int64, i int) int64 {
 // Options controls a replicated simulation run.
 type Options struct {
 	// Replications is the number of independent replications R; the zero
-	// value means 1.
+	// value means 1. Ignored when Precision > 0 (the stopping rule decides
+	// the count); rounded up to an even count under VRAntithetic.
 	Replications int
 	// Workers bounds the number of replications simulated concurrently; the
 	// zero value means runtime.NumCPU(). Ignored when Limiter is set.
@@ -75,8 +97,9 @@ type Options struct {
 	// means the simulator configuration's level (0.95 if that is unset too).
 	ConfidenceLevel float64
 	// Progress, when non-nil, is called after every completed replication
-	// with the number of finished replications and the total. Calls are
-	// serialized but may arrive in any replication order.
+	// with the number of finished replications and the total planned so far
+	// (which grows across adaptive batches). Calls are serialized but may
+	// arrive in any replication order.
 	Progress func(done, total int)
 	// Limiter, when non-nil, is the shared semaphore replications acquire a
 	// token from instead of a pool-private one. Callers running several
@@ -102,6 +125,31 @@ type Options struct {
 	// concurrently pass one shared Admission so total live simulators stay
 	// bounded; when nil, a pool-private limiter of Workers tokens is used.
 	Admission *Limiter
+
+	// Precision, when > 0, enables adaptive precision-targeted replication:
+	// replications are added in batches until the relative confidence
+	// half-width |halfwidth/mean| of the Target measure drops to Precision
+	// or below (e.g. 0.05 for a 5% relative half-width), within
+	// [MinReplications, MaxReplications]. The zero value disables the
+	// stopping rule and runs exactly Replications runs — bit-identical to
+	// the fixed-R behaviour.
+	Precision float64
+	// Target is the measure the stopping rule watches; the zero value is
+	// MeasureThroughput. Ignored when Precision is 0.
+	Target Measure
+	// MinReplications is the replication count of the first adaptive batch;
+	// the zero value means 4 (two antithetic pairs). It is floored at 2:
+	// the stopping rule compares cross-replication intervals, and a single
+	// replication would check its within-run batch-means interval instead —
+	// a different, correlated estimator. Ignored when Precision is 0.
+	MinReplications int
+	// MaxReplications caps the adaptive replication count; the zero value
+	// means 64. Ignored when Precision is 0.
+	MaxReplications int
+	// VR selects a variance-reduction scheme for the merged estimators (see
+	// VarianceReduction); the zero value is VRNone. It applies to fixed-R
+	// and adaptive runs alike.
+	VR VarianceReduction
 }
 
 func (o Options) withDefaults() Options {
@@ -114,58 +162,124 @@ func (o Options) withDefaults() Options {
 	if o.BaseSeed == 0 {
 		o.BaseSeed = 1
 	}
+	if o.MinReplications <= 0 {
+		o.MinReplications = 4
+	}
+	if o.MinReplications < 2 {
+		// The stopping rule needs a cross-replication interval; one
+		// replication would offer only its batch-means interval.
+		o.MinReplications = 2
+	}
+	if o.MaxReplications <= 0 {
+		o.MaxReplications = 64
+	}
+	if o.MaxReplications < o.MinReplications {
+		o.MaxReplications = o.MinReplications
+	}
+	if o.VR == VRAntithetic {
+		// Pairing needs even counts; round every bound up.
+		o.Replications += o.Replications % 2
+		o.MinReplications += o.MinReplications % 2
+		o.MaxReplications += o.MaxReplications % 2
+	}
 	return o
 }
 
 // Summary is the outcome of a replicated simulation run.
 type Summary struct {
 	// Merged holds the cross-replication results: every interval is a
-	// Student-t confidence interval over the R replication means (its Batches
-	// field reports R), and the event and packet totals are summed over all
-	// replications. With a single replication Merged is that replication's
-	// result verbatim, batch-means intervals included.
+	// Student-t confidence interval over the effective samples (its Batches
+	// field reports their count — R replications, or R/2 antithetic pairs),
+	// and the event and packet totals are summed over all replications. With
+	// a single replication Merged is that replication's result verbatim,
+	// batch-means intervals included.
 	Merged sim.Results
 	// Replications is the number of replications merged.
 	Replications int
 	// BaseSeed is the seed the replication substreams were derived from.
 	BaseSeed int64
 	// PerReplication holds the individual replication results in replication
-	// order.
+	// order (under VRAntithetic, pair p occupies indices 2p and 2p+1).
 	PerReplication []sim.Results
+	// VR is the variance-reduction mode the summary was merged under.
+	VR VarianceReduction
+	// Adaptive reports whether the precision-targeted stopping rule drove
+	// the replication count.
+	Adaptive bool
+	// Converged reports whether an adaptive run met its precision target
+	// before hitting MaxReplications; always false for fixed-R runs.
+	Converged bool
+	// Target is the measure the stopping rule watched (meaningful for
+	// adaptive runs).
+	Target Measure
+	// RelativeHalfWidth is the realized relative confidence half-width of
+	// the target measure in the merged results.
+	RelativeHalfWidth float64
+
+	// control-variate state, kept for EffectiveSamples.
+	controls    []float64
+	controlMean float64
 }
 
 // String renders the summary as a small table headed by the replication
 // count.
 func (s Summary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d replication(s), base seed %d\n", s.Replications, s.BaseSeed)
+	fmt.Fprintf(&b, "%d replication(s), base seed %d", s.Replications, s.BaseSeed)
+	if s.VR != VRNone {
+		fmt.Fprintf(&b, ", variance reduction %s", s.VR)
+	}
+	if s.Adaptive {
+		state := "hit the replication cap"
+		if s.Converged {
+			state = "met"
+		}
+		fmt.Fprintf(&b, ", adaptive target %s (%s at %.3g relative half-width)",
+			s.Target, state, s.RelativeHalfWidth)
+	}
+	b.WriteString("\n")
 	b.WriteString(s.Merged.String())
 	return b.String()
 }
 
-// measures enumerates the interval-valued fields of sim.Results once, so the
-// merge does not hand-copy ten fields.
-var measures = []func(*sim.Results) *stats.Interval{
-	func(r *sim.Results) *stats.Interval { return &r.CarriedDataTraffic },
-	func(r *sim.Results) *stats.Interval { return &r.PacketLossProbability },
-	func(r *sim.Results) *stats.Interval { return &r.QueueingDelay },
-	func(r *sim.Results) *stats.Interval { return &r.ThroughputBits },
-	func(r *sim.Results) *stats.Interval { return &r.ThroughputPerUserBits },
-	func(r *sim.Results) *stats.Interval { return &r.AverageSessions },
-	func(r *sim.Results) *stats.Interval { return &r.CarriedVoiceTraffic },
-	func(r *sim.Results) *stats.Interval { return &r.GSMBlockingProbability },
-	func(r *sim.Results) *stats.Interval { return &r.GPRSBlockingProbability },
-	func(r *sim.Results) *stats.Interval { return &r.MeanQueueLength },
+// EffectiveSamples maps the replications to the i.i.d. samples the merged
+// intervals are computed over, for an arbitrary derived observable: get is
+// evaluated once per replication, and the values are reduced exactly like
+// the built-in measures — passed through (VRNone), averaged over antithetic
+// pairs (VRAntithetic), or regression-adjusted against the Erlang-B control
+// (VRControl). Figure code uses this to put consistent error bars on derived
+// quantities such as per-distance-group cell averages.
+func (s Summary) EffectiveSamples(get func(sim.Results) float64) []float64 {
+	raw := make([]float64, len(s.PerReplication))
+	for i := range s.PerReplication {
+		raw[i] = get(s.PerReplication[i])
+	}
+	return effectiveSamples(raw, s.VR, controlInfo{values: s.controls, mean: s.controlMean, ok: len(s.controls) > 0})
 }
 
 // Merge folds per-replication results into a Summary at the given confidence
-// level. Replications are folded in slice order, so the result is independent
-// of the schedule that produced them. An empty slice yields a zero Summary;
-// a single result is passed through unchanged (batch-means intervals intact).
+// level, with no variance reduction. Replications are folded in slice order,
+// so the result is independent of the schedule that produced them. An empty
+// slice yields a zero Summary; a single result is passed through unchanged
+// (batch-means intervals intact, no per-cell intervals).
 func Merge(results []sim.Results, level float64) Summary {
+	return mergeVR(results, level, VRNone, controlInfo{})
+}
+
+// mergeVR is the estimator behind Merge and Run: it folds per-replication
+// results under the given variance-reduction treatment. Interval-valued
+// measures become Student-t intervals over the effective samples, counter
+// totals are summed, per-cell point estimates are averaged (mergePerCell) and
+// additionally carry cross-replication intervals (perCellIntervals).
+func mergeVR(results []sim.Results, level float64, vr VarianceReduction, ci controlInfo) Summary {
 	s := Summary{
 		Replications:   len(results),
 		PerReplication: results,
+		VR:             vr,
+	}
+	if ci.ok {
+		s.controls = ci.values
+		s.controlMean = ci.mean
 	}
 	if len(results) == 0 {
 		return s
@@ -177,12 +291,12 @@ func Merge(results []sim.Results, level float64) Summary {
 	if len(results) == 1 {
 		return s
 	}
-	for _, get := range measures {
-		xs := make([]float64, len(results))
+	raw := make([]float64, len(results))
+	for _, def := range measureDefs {
 		for i := range results {
-			xs[i] = get(&results[i]).Mean
+			raw[i] = def.get(&results[i]).Mean
 		}
-		*get(&s.Merged) = stats.MeanInterval(xs, level)
+		*def.get(&s.Merged) = SampleInterval(effectiveSamples(raw, vr, ci), level, vr)
 	}
 	s.Merged.PacketsOffered = 0
 	s.Merged.PacketsLost = 0
@@ -206,15 +320,16 @@ func Merge(results []sim.Results, level float64) Summary {
 		s.Merged.Events += r.Events
 	}
 	s.Merged.PerCell = mergePerCell(results)
+	s.Merged.PerCellCI = perCellIntervals(results, level, vr, ci)
 	return s
 }
 
 // mergePerCell folds the per-cell reports of the replications: point
 // estimates (time averages, probabilities) are averaged across replications
 // and counter totals are summed, mirroring the treatment of the mid-cell
-// measures. Replication-resolved values stay available in PerReplication —
-// cross-replication intervals over a single cell's measure come from
-// stats.MeanInterval over those.
+// measures. Cross-replication intervals over the same measures are computed
+// by perCellIntervals into Results.PerCellCI; the replication-resolved values
+// stay available in PerReplication.
 func mergePerCell(results []sim.Results) []sim.CellMeasures {
 	n := len(results[0].PerCell)
 	for _, r := range results {
@@ -248,12 +363,16 @@ func mergePerCell(results []sim.Results) []sim.CellMeasures {
 	return merged
 }
 
-// Run executes R independent replications of the given simulator
-// configuration (the configuration's own Seed field is ignored; replication i
-// runs with SeedFor(BaseSeed, i)) and merges them. The merged result is
-// bit-identical for a given (BaseSeed, Replications) pair regardless of
-// worker count and of the Shards setting (the sharded engine reproduces the
-// serial engine exactly).
+// Run executes independent replications of the given simulator configuration
+// (the configuration's own Seed field is ignored; replication i runs with
+// SeedFor(BaseSeed, i), or SeedFor(BaseSeed, i/2) on paired stream kinds
+// under VRAntithetic) and merges them. With Precision 0 exactly Replications
+// runs execute; with Precision > 0 the adaptive stopping rule grows the
+// count in batches until the target measure's relative confidence half-width
+// reaches the threshold or MaxReplications is hit. The merged result is
+// bit-identical for a given (BaseSeed, options) regardless of worker count
+// and of the Shards setting (the sharded engine reproduces the serial engine
+// exactly).
 func Run(cfg sim.Config, o Options) (Summary, error) {
 	o = o.withDefaults()
 	lim := o.Limiter
@@ -264,6 +383,14 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 	level := o.ConfidenceLevel
 	if level <= 0 || level >= 1 {
 		level = cfg.ConfidenceLevel
+	}
+
+	var control controlInfo
+	if o.VR == VRControl {
+		var err error
+		if control, err = controlForConfig(cfg); err != nil {
+			return Summary{}, err
+		}
 	}
 
 	// With shard-level parallelism the CPU bound moves to the leaf work —
@@ -289,29 +416,94 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 		}
 	}
 
-	results := make([]sim.Results, o.Replications)
 	var mu sync.Mutex
 	done := 0
-	err := ForEach(outer, o.Replications, func(i int) error {
-		c := cfg
-		c.Seed = SeedFor(o.BaseSeed, i)
-		res, err := sim.RunOnce(c, sim.ShardedOptions{Shards: o.Shards, Limiter: lim})
-		if err != nil {
-			return fmt.Errorf("replication %d: %w", i, err)
-		}
-		results[i] = res
-		if o.Progress != nil {
-			mu.Lock()
-			done++
-			o.Progress(done, o.Replications)
-			mu.Unlock()
-		}
-		return nil
-	})
-	if err != nil {
-		return Summary{}, err
+	// runBatch simulates replications [lo, len(results)) into their slots.
+	// Replication i's configuration depends only on (BaseSeed, i, VR), so
+	// batching — like scheduling — cannot change any result.
+	runBatch := func(results []sim.Results, lo, total int) error {
+		return ForEach(outer, len(results)-lo, func(k int) error {
+			i := lo + k
+			c := cfg
+			if o.VR == VRAntithetic {
+				c.Seed = SeedFor(o.BaseSeed, i/2)
+				if i%2 == 0 {
+					c.Streams = des.StreamPaired
+				} else {
+					c.Streams = des.StreamAntithetic
+				}
+			} else {
+				c.Seed = SeedFor(o.BaseSeed, i)
+			}
+			res, err := sim.RunOnce(c, sim.ShardedOptions{Shards: o.Shards, Limiter: lim})
+			if err != nil {
+				return fmt.Errorf("replication %d: %w", i, err)
+			}
+			results[i] = res
+			if o.Progress != nil {
+				mu.Lock()
+				done++
+				o.Progress(done, total)
+				mu.Unlock()
+			}
+			return nil
+		})
 	}
-	sum := Merge(results, level)
-	sum.BaseSeed = o.BaseSeed
-	return sum, nil
+
+	finish := func(sum Summary) Summary {
+		sum.BaseSeed = o.BaseSeed
+		sum.Target = o.Target
+		sum.RelativeHalfWidth = relHalfWidth(o.Target.Interval(sum.Merged))
+		return sum
+	}
+
+	if o.Precision <= 0 {
+		results := make([]sim.Results, o.Replications)
+		if err := runBatch(results, 0, o.Replications); err != nil {
+			return Summary{}, err
+		}
+		if control.ok {
+			control.observe(results)
+		}
+		return finish(mergeVR(results, level, o.VR, control)), nil
+	}
+
+	// Adaptive mode: grow the replication set in batches (half-again growth,
+	// at least two per batch) and re-check the stopping rule after each. The
+	// batch boundaries affect only scheduling — replication i is the same
+	// run no matter which batch issued it.
+	results := make([]sim.Results, 0, o.MaxReplications)
+	n := 0
+	next := o.MinReplications
+	var sum Summary
+	for {
+		results = results[:next]
+		if err := runBatch(results, n, next); err != nil {
+			return Summary{}, err
+		}
+		n = next
+		if control.ok {
+			control.observe(results)
+		}
+		sum = finish(mergeVR(results, level, o.VR, control))
+		sum.Adaptive = true
+		if sum.RelativeHalfWidth <= o.Precision {
+			sum.Converged = true
+			return sum, nil
+		}
+		if n >= o.MaxReplications {
+			return sum, nil
+		}
+		grow := n / 2
+		if grow < 2 {
+			grow = 2
+		}
+		if o.VR == VRAntithetic {
+			grow += grow % 2
+		}
+		next = n + grow
+		if next > o.MaxReplications {
+			next = o.MaxReplications
+		}
+	}
 }

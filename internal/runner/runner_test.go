@@ -246,8 +246,8 @@ func TestMergeAgainstManualWelford(t *testing.T) {
 func TestMergeCoversEveryResultsField(t *testing.T) {
 	var r sim.Results
 	covered := make(map[uintptr]bool)
-	for _, get := range measures {
-		covered[reflect.ValueOf(get(&r)).Pointer()] = true
+	for _, def := range measureDefs {
+		covered[reflect.ValueOf(def.get(&r)).Pointer()] = true
 	}
 
 	one := sim.Results{}
@@ -270,10 +270,11 @@ func TestMergeCoversEveryResultsField(t *testing.T) {
 		case reflect.Float64:
 			fv.SetFloat(1)
 		case reflect.Slice:
-			if f.Name != "PerCell" {
+			if f.Name != "PerCell" && f.Name != "PerCellCI" {
 				t.Errorf("slice field %s has no merge rule — extend Merge and this test", f.Name)
 			}
-			// PerCell merging is covered below and by TestMergePerCell.
+			// PerCell merging is covered below and by TestMergePerCell;
+			// PerCellCI by TestPerCellIntervals.
 		default:
 			t.Errorf("field %s has unhandled kind %v — extend Merge and this test", f.Name, fv.Kind())
 		}

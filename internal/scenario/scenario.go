@@ -18,6 +18,32 @@
 //
 // Specs serialize to a small JSON format (see Parse and Load) and a handful
 // of named presets are built in (see Preset and Names).
+//
+// # Determinism contract
+//
+// A compiled Profile is an immutable pure function: Weights is fixed at
+// compile time, and Rates/NextChange depend only on (cell, t) — no hidden
+// state, no randomness, no mutation after Compile returns. Profiles are
+// therefore safe for unsynchronized concurrent readers, which is exactly
+// what the layers above assume:
+//
+//   - the sharded engine queries one profile from several shard workers at
+//     once, and stays bit-identical to the serial engine under every
+//     scenario (the engines' own contract plus profile purity);
+//
+//   - the replication runner shares one profile across all replications, so
+//     replication i sees the same rates regardless of scheduling, keeping
+//     the runner's (base seed, replication count) bit-identity — and the
+//     adaptive stopping rule built on it — intact under every scenario;
+//
+//   - the uniform scenario compiles to weight 1 and scale 1 everywhere and
+//     reproduces the paper's symmetric load bit for bit, which the test
+//     suite pins on both engines.
+//
+// Rates are piecewise constant in time by construction (Steps schedules,
+// optionally periodic), which the simulator's boundary-re-arming arrival
+// generator relies on for exactness: a rate holds on [t, NextChange(t)), so
+// exponential gaps drawn within a segment are exact, not an approximation.
 package scenario
 
 import (

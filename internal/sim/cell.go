@@ -31,10 +31,13 @@ type cellStreams struct {
 // newCellStreams derives the streams of one cell from the base seed via
 // SplitMix64 substreams (des.SubstreamSeed), which stays collision-free as
 // the cell count grows — unlike the previous affine seed*4+k scheme, under
-// which nearby base seeds aliased each other's streams.
-func newCellStreams(seed int64, cellID int) cellStreams {
+// which nearby base seeds aliased each other's streams. kind selects the draw
+// behaviour of every stream: des.StreamDefault for the historic variates, or
+// the paired/antithetic inversion modes the replication runner uses for
+// antithetic-variate pairs (see Config.Streams).
+func newCellStreams(seed int64, cellID int, kind des.StreamKind) cellStreams {
 	sub := func(k uint64) *des.Stream {
-		return des.NewStream(des.SubstreamSeed(seed, uint64(cellID)*streamsPerCell+k))
+		return des.NewStreamKind(des.SubstreamSeed(seed, uint64(cellID)*streamsPerCell+k), kind)
 	}
 	return cellStreams{arrival: sub(0), duration: sub(1), traffic: sub(2), handover: sub(3)}
 }
@@ -141,8 +144,8 @@ type cell struct {
 	tcpFastRecovers int64
 }
 
-func newCell(id int, env cellEnv, eng *des.Simulation, seed int64) *cell {
-	return &cell{id: id, env: env, eng: eng, streams: newCellStreams(seed, id)}
+func newCell(id int, env cellEnv, eng *des.Simulation, seed int64, kind des.StreamKind) *cell {
+	return &cell{id: id, env: env, eng: eng, streams: newCellStreams(seed, id, kind)}
 }
 
 func (c *cell) now() float64 { return c.eng.Now() }

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/des"
 	"repro/internal/radio"
 	"repro/internal/tcp"
 	"repro/internal/traffic"
@@ -88,6 +89,13 @@ type Config struct {
 	ConfidenceLevel float64
 	// Seed makes the run reproducible.
 	Seed int64
+	// Streams selects the draw behaviour of every random variate stream of
+	// the run. The zero value (des.StreamDefault) reproduces the historic
+	// draws bit-identically; des.StreamPaired and des.StreamAntithetic derive
+	// every variate by inversion from a single uniform draw so two runs with
+	// the same Seed and the two kinds form an antithetic pair — the
+	// variance-reduction mode of the replication runner sets this field.
+	Streams des.StreamKind
 }
 
 // DefaultConfig returns the simulator configuration matching the base
@@ -183,6 +191,9 @@ func (c Config) Validate() error {
 	}
 	if c.HandoverLatencySec < 0 || math.IsNaN(c.HandoverLatencySec) || math.IsInf(c.HandoverLatencySec, 0) {
 		return fmt.Errorf("%w: handover latency = %v", ErrInvalidConfig, c.HandoverLatencySec)
+	}
+	if c.Streams < des.StreamDefault || c.Streams > des.StreamAntithetic {
+		return fmt.Errorf("%w: stream kind %d", ErrInvalidConfig, c.Streams)
 	}
 	if c.EnableTCP {
 		if err := c.TCP.Validate(); err != nil {

@@ -57,6 +57,16 @@ type Results struct {
 	// heterogeneous scenarios (hotspot cells, load gradients — see
 	// internal/scenario) the spatial shape of the response is the result.
 	PerCell []CellMeasures
+
+	// PerCellCI carries cross-replication confidence intervals over every
+	// per-cell measure, indexed by cell id like PerCell. A single simulation
+	// run cannot produce them (PerCell holds point estimates only), so this
+	// field is nil on the Results of one run and is populated by the
+	// replication runner's merge: each interval is a Student-t interval over
+	// the per-replication values of one cell's measure (over antithetic pair
+	// means or control-variate-adjusted values when the runner's variance
+	// reduction is enabled).
+	PerCellCI []CellIntervals
 }
 
 // CellMeasures summarizes one cell of the cluster over the whole measurement
@@ -93,6 +103,40 @@ type CellMeasures struct {
 	PacketsDelivered int64
 	HandoversIn      int64
 	HandoversOut     int64
+}
+
+// CellIntervals carries cross-replication confidence intervals for the
+// point-estimate measures of one cell's CellMeasures. It is produced by the
+// replication runner's merge (see Results.PerCellCI); the counter totals of
+// CellMeasures have no interval form and are summed instead.
+type CellIntervals struct {
+	// Cell is the cell id (cluster.MidCell is the measured mid cell).
+	Cell int
+	// CarriedDataTraffic is the interval over the per-replication
+	// time-average PDCHs transmitting data in this cell.
+	CarriedDataTraffic stats.Interval
+	// MeanQueueLength is the interval over the time-average BSC buffer
+	// occupancy in packets.
+	MeanQueueLength stats.Interval
+	// CarriedVoiceTraffic is the interval over the time-average busy voice
+	// channels.
+	CarriedVoiceTraffic stats.Interval
+	// AverageSessions is the interval over the time-average active GPRS
+	// sessions.
+	AverageSessions stats.Interval
+	// PacketLossProbability is the interval over the per-replication packet
+	// loss fractions.
+	PacketLossProbability stats.Interval
+	// QueueingDelaySec is the interval over the per-replication mean buffer
+	// times in seconds.
+	QueueingDelaySec stats.Interval
+	// ThroughputBits is the interval over the per-replication delivered data
+	// rates in bit/s.
+	ThroughputBits stats.Interval
+	// GSMBlocking and GPRSBlocking are the intervals over the fresh-arrival
+	// blocking fractions.
+	GSMBlocking  stats.Interval
+	GPRSBlocking stats.Interval
 }
 
 // String renders the results as a small table.

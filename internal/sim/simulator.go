@@ -61,7 +61,7 @@ func buildCells(cfg Config, env cellEnv, calendarFor func(i int) *des.Simulation
 	}
 	cells := make([]*cell, cfg.Topology.NumCells())
 	for i := range cells {
-		cells[i] = newCell(i, env, calendarFor(i), cfg.Seed)
+		cells[i] = newCell(i, env, calendarFor(i), cfg.Seed, cfg.Streams)
 	}
 	return cfg, bpp, cells, nil
 }

@@ -2,8 +2,11 @@
 // spirit of the (deprecated) golint exported-comment check: every exported
 // identifier in non-test files — functions, types, constants, variables, and
 // methods on exported receiver types — must carry a doc comment, and every
-// library package must carry a package comment. CI runs it over internal/,
-// cmd/, and examples/; it exits non-zero listing the offenders.
+// package must carry a package comment — library packages a godoc package
+// comment, main packages (the commands of cmd/ and the programs of
+// examples/) a command comment describing what the program does. CI runs it
+// over internal/, cmd/, and examples/; it exits non-zero listing the
+// offenders.
 //
 // Usage:
 //
@@ -54,9 +57,18 @@ func main() {
 	}
 	sort.Strings(dirsSeen)
 	for _, dir := range dirsSeen {
-		if p := pkgs[dir]; p.name != "main" && !p.documented {
-			problems = append(problems, fmt.Sprintf("%s: package %s lacks a package comment", dir, p.name))
+		p := pkgs[dir]
+		if p.documented {
+			continue
 		}
+		// Main packages are held to the same bar as libraries: a command
+		// without a command comment is undocumented in godoc exactly like a
+		// library package without a package comment.
+		kind := "package " + p.name
+		if p.name == "main" {
+			kind = "command (package main)"
+		}
+		problems = append(problems, fmt.Sprintf("%s: %s lacks a package comment", dir, kind))
 	}
 	for _, p := range problems {
 		fmt.Println(p)
