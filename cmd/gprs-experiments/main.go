@@ -12,8 +12,11 @@
 // -scenario/-scenario-file install a heterogeneous-load workload scenario
 // (internal/scenario) on every simulator run; `-figure hotspot` regenerates
 // the per-cell hotspot figures — the spatial response of the cluster by hex
-// distance from the scenario center, the first workload the analytical model
-// cannot express.
+// distance from the scenario center (or from the corridor axis for corridor
+// scenarios such as the highway preset), the first workload the analytical
+// model cannot express. Scenarios with a mobility profile (highway,
+// hotspot-pedestrian) additionally skew the per-cell handover flow, reported
+// by the hsp05 figure.
 //
 // Examples:
 //
@@ -24,6 +27,7 @@
 //	gprs-experiments -figure fig6 -cells 19 -shards 4
 //	gprs-experiments -figure hotspot -cells 19 -replications 5
 //	gprs-experiments -figure hotspot -scenario gradient
+//	gprs-experiments -figure hotspot -scenario highway -cells 19
 package main
 
 import (
@@ -52,7 +56,7 @@ func run(args []string) error {
 		full    = fs.Bool("full", false, "run the paper-resolution parameter setting (slow)")
 		figure  = fs.String("figure", "all", "figure to regenerate: all, tables, fig5 ... fig15")
 		outDir  = fs.String("out", "results", "directory for CSV output")
-		workers = fs.Int("workers", 0, "concurrent model solutions and simulator runs (0 = NumCPU)")
+		workers = fs.Int("workers", 0, "concurrent model solutions and simulator runs (0 = NumCPU); also sizes adaptive growth batches — pin it to reproduce -precision runs across machines")
 		noSim   = fs.Bool("no-sim", false, "skip the detailed-simulator series of figs 5 and 6")
 		tol     = fs.Float64("tol", 0, "steady-state solver tolerance (0 = default)")
 		reps    = fs.Int("replications", 0, "independent simulator replications per point (0 = fidelity default; ignored with -precision)")

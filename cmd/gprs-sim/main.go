@@ -10,11 +10,16 @@
 // conservative time windows — again without changing the results.
 //
 // -scenario installs a built-in heterogeneous-load workload scenario
-// (hotspot cells, load gradients, busy-hour ramps) and -scenario-file loads
-// one from a JSON file; serial and sharded engines stay bit-identical under
-// every scenario, and -percell prints the per-cell report that makes the
-// spatial response visible (with cross-replication confidence half-widths
-// when more than one replication ran).
+// (hotspot cells, load gradients, busy-hour ramps, highway corridors) and
+// -scenario-file loads one from a JSON file. Scenarios can shape mobility as
+// well as load: dwell-time multipliers per cell (fast vehicles on a highway
+// corridor, slow pedestrians in a hotspot — presets highway and
+// hotspot-pedestrian) skew the handover flow itself. Serial and sharded
+// engines stay bit-identical under every scenario, and -percell prints the
+// per-cell report that makes the spatial response visible — including the
+// handover-flow columns (HO in/out/fail), the signature of mobility
+// scenarios — with cross-replication confidence half-widths when more than
+// one replication ran.
 //
 // -precision enables the adaptive stopping rule: instead of a fixed
 // -replications count, replications are added in batches until the relative
@@ -31,6 +36,7 @@
 //	gprs-sim -rate 0.5 -precision 0.05 -vr antithetic
 //	gprs-sim -rate 0.5 -cells 19 -shards 4
 //	gprs-sim -rate 0.5 -cells 19 -scenario hotspot -percell
+//	gprs-sim -rate 0.5 -cells 19 -scenario highway -percell
 //	gprs-sim -rate 0.5 -scenario-file rush.json
 package main
 
@@ -68,7 +74,7 @@ func run(args []string) error {
 		batches = fs.Int("batches", 10, "number of batch-means batches")
 		seed    = fs.Int64("seed", 1, "base random seed")
 		reps    = fs.Int("replications", 1, "independent replications to run and merge")
-		workers = fs.Int("workers", 0, "concurrent replications (0 = NumCPU)")
+		workers = fs.Int("workers", 0, "concurrent replications (0 = NumCPU); also sizes adaptive growth batches — pin it to reproduce -precision runs across machines")
 		cells   = fs.Int("cells", 7, "cluster size: 7 (paper), 19 or 37 (wrap-around hex rings)")
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per replication (1 = serial engine)")
 		scnName = fs.String("scenario", "", "built-in workload scenario: "+strings.Join(scenario.Names(), ", "))
@@ -114,7 +120,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		scenarioLabel = describeProfile(spec, prof)
+		scenarioLabel = describeProfile(spec, prof, cfg.Mobility)
 	}
 
 	if *reps < 1 {
@@ -181,14 +187,25 @@ func resolveScenario(name, file string) (spec scenario.Spec, ok bool, err error)
 	return spec, err == nil, err
 }
 
-// describeProfile labels a compiled scenario for the run header.
-func describeProfile(spec scenario.Spec, prof *scenario.Profile) string {
+// describeProfile labels a compiled scenario for the run header, including
+// the dwell-multiplier range when the scenario shapes mobility.
+func describeProfile(spec scenario.Spec, prof *scenario.Profile, mob sim.MobilityProfile) string {
 	name := spec.Name
 	if name == "" {
 		name = "custom"
 	}
-	weights := prof.Weights()
-	lo, hi := weights[0], weights[0]
+	lo, hi := weightRange(prof.Weights())
+	label := fmt.Sprintf("%q (cell weights %.3g..%.3g)", name, lo, hi)
+	if dp, ok := mob.(*scenario.DwellProfile); ok && dp != nil {
+		mlo, mhi := weightRange(dp.Weights())
+		label += fmt.Sprintf(", dwell multipliers %.3g..%.3g", mlo, mhi)
+	}
+	return label
+}
+
+// weightRange returns the smallest and largest entry of a weight vector.
+func weightRange(weights []float64) (lo, hi float64) {
+	lo, hi = weights[0], weights[0]
 	for _, w := range weights {
 		if w < lo {
 			lo = w
@@ -197,7 +214,7 @@ func describeProfile(spec scenario.Spec, prof *scenario.Profile) string {
 			hi = w
 		}
 	}
-	return fmt.Sprintf("%q (cell weights %.3g..%.3g)", name, lo, hi)
+	return lo, hi
 }
 
 // printPerCell renders the per-cell report as a small table. When the
@@ -207,24 +224,25 @@ func describeProfile(spec scenario.Spec, prof *scenario.Profile) string {
 func printPerCell(cells []sim.CellMeasures, cis []sim.CellIntervals) {
 	if len(cis) != len(cells) {
 		fmt.Printf("per-cell measures:\n")
-		fmt.Printf("  %4s %8s %8s %8s %8s %10s %12s %8s\n",
-			"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in")
+		fmt.Printf("  %4s %8s %8s %8s %8s %10s %12s %8s %8s %8s\n",
+			"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in", "HO out", "HO fail")
 		for _, m := range cells {
-			fmt.Printf("  %4d %8.3f %8.3f %8.3f %8.3f %10.4f %12.0f %8d\n",
+			fmt.Printf("  %4d %8.3f %8.3f %8.3f %8.3f %10.4f %12.0f %8d %8d %8d\n",
 				m.Cell, m.CarriedVoiceTraffic, m.AverageSessions, m.CarriedDataTraffic,
-				m.MeanQueueLength, m.GSMBlocking, m.ThroughputBits, m.HandoversIn)
+				m.MeanQueueLength, m.GSMBlocking, m.ThroughputBits,
+				m.HandoversIn, m.HandoversOut, m.HandoverFailures)
 		}
 		return
 	}
 	fmt.Printf("per-cell measures (± cross-replication CI half-width):\n")
-	fmt.Printf("  %4s %16s %16s %16s %16s %18s %20s %8s\n",
-		"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in")
+	fmt.Printf("  %4s %16s %16s %16s %16s %18s %20s %8s %8s %8s\n",
+		"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in", "HO out", "HO fail")
 	pm := func(v float64, iv stats.Interval) string {
 		return fmt.Sprintf("%.3f ±%.3f", v, iv.HalfWidth)
 	}
 	for i, m := range cells {
 		iv := cis[i]
-		fmt.Printf("  %4d %16s %16s %16s %16s %18s %20s %8d\n",
+		fmt.Printf("  %4d %16s %16s %16s %16s %18s %20s %8d %8d %8d\n",
 			m.Cell,
 			pm(m.CarriedVoiceTraffic, iv.CarriedVoiceTraffic),
 			pm(m.AverageSessions, iv.AverageSessions),
@@ -232,6 +250,6 @@ func printPerCell(cells []sim.CellMeasures, cis []sim.CellIntervals) {
 			pm(m.MeanQueueLength, iv.MeanQueueLength),
 			fmt.Sprintf("%.4f ±%.4f", m.GSMBlocking, iv.GSMBlocking.HalfWidth),
 			fmt.Sprintf("%.0f ±%.0f", m.ThroughputBits, iv.ThroughputBits.HalfWidth),
-			m.HandoversIn)
+			m.HandoversIn, m.HandoversOut, m.HandoverFailures)
 	}
 }

@@ -16,10 +16,22 @@ var ErrInvalidTopology = errors.New("cluster: invalid topology")
 // measurements are compared with the analytical model.
 const MidCell = 0
 
-// Topology describes a set of cells and their neighbour relations.
+// NumHexAxes is the number of distinct lattice axes of a hexagonal layout.
+// A corridor (highway) scenario runs along one of them; see AxisDistances.
+const NumHexAxes = 3
+
+// axial is a cell position in axial hex coordinates (q, r); the third cube
+// coordinate is implied as -(q+r).
+type axial struct{ q, r int }
+
+// Topology describes a set of cells and their neighbour relations. Hexagonal
+// topologies (NewHexCluster, NewHexRing) additionally carry the axial lattice
+// coordinates of every cell, which corridor-shaped scenarios use to measure
+// distances from a lattice axis; plain rings carry none.
 type Topology struct {
 	numCells  int
 	neighbors [][]int
+	coords    []axial // nil when the topology has no hex embedding
 }
 
 // NewHexCluster returns the seven-cell hexagonal cluster used in the paper:
@@ -49,7 +61,11 @@ func NewHexCluster() *Topology {
 		// for the three outward directions.
 		neighbors[i] = []int{MidCell, left, right, opposite}
 	}
-	return &Topology{numCells: n, neighbors: neighbors}
+	// Hex embedding: the outer ring cells 1..6 walk the six lattice
+	// directions around the mid cell in ring order, so consecutive indices
+	// are lattice neighbours, matching the neighbour lists above.
+	coords := []axial{{0, 0}, {1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1}}
+	return &Topology{numCells: n, neighbors: neighbors, coords: coords}
 }
 
 // NewHexRing returns the wrap-around hexagonal cluster with r rings of cells
@@ -66,8 +82,7 @@ func NewHexRing(r int) (*Topology, error) {
 	if r < 1 {
 		return nil, fmt.Errorf("%w: hex ring needs at least 1 ring, got %d", ErrInvalidTopology, r)
 	}
-	type ax struct{ q, r int }
-	dist := func(a ax) int {
+	dist := func(a axial) int {
 		d := abs(a.q)
 		if abs(a.r) > d {
 			d = abs(a.r)
@@ -80,29 +95,29 @@ func NewHexRing(r int) (*Topology, error) {
 	// Enumerate the ball ring by ring so the mid cell gets index MidCell and
 	// ring k occupies a contiguous index range — the same layout convention as
 	// the seed cluster.
-	var coords []ax
+	var coords []axial
 	for ring := 0; ring <= r; ring++ {
 		for q := -ring; q <= ring; q++ {
 			for rr := -ring; rr <= ring; rr++ {
-				if c := (ax{q, rr}); dist(c) == ring {
+				if c := (axial{q, rr}); dist(c) == ring {
 					coords = append(coords, c)
 				}
 			}
 		}
 	}
-	index := make(map[ax]int, len(coords))
+	index := make(map[axial]int, len(coords))
 	for i, c := range coords {
 		index[c] = i
 	}
 	// Period lattice: a = (r+1, r) and b = rot60(a) = (-r, 2r+1). Both have
 	// squared hex norm q^2 + qr + r^2 = 3r^2+3r+1 = |ball|, the signature of a
 	// perfect toroidal closure.
-	a := ax{r + 1, r}
-	b := ax{-r, 2*r + 1}
-	canonical := func(c ax) (int, bool) {
+	a := axial{r + 1, r}
+	b := axial{-r, 2*r + 1}
+	canonical := func(c axial) (int, bool) {
 		for m := -2; m <= 2; m++ {
 			for k := -2; k <= 2; k++ {
-				p := ax{c.q - m*a.q - k*b.q, c.r - m*a.r - k*b.r}
+				p := axial{c.q - m*a.q - k*b.q, c.r - m*a.r - k*b.r}
 				if dist(p) <= r {
 					return index[p], true
 				}
@@ -110,18 +125,18 @@ func NewHexRing(r int) (*Topology, error) {
 		}
 		return 0, false
 	}
-	directions := []ax{{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1}}
+	directions := []axial{{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1}}
 	neighbors := make([][]int, len(coords))
 	for i, c := range coords {
 		for _, d := range directions {
-			nb, ok := canonical(ax{c.q + d.q, c.r + d.r})
+			nb, ok := canonical(axial{c.q + d.q, c.r + d.r})
 			if !ok {
 				return nil, fmt.Errorf("%w: no wrap-around image for neighbour of cell %d", ErrInvalidTopology, i)
 			}
 			neighbors[i] = append(neighbors[i], nb)
 		}
 	}
-	t := &Topology{numCells: len(coords), neighbors: neighbors}
+	t := &Topology{numCells: len(coords), neighbors: neighbors, coords: coords}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,6 +284,39 @@ func (t *Topology) Eccentricity(from int) int {
 		}
 	}
 	return max
+}
+
+// AxisDistances returns, for every cell of the cluster, the hex distance from
+// the lattice line through the given cell along one of the three hexagonal
+// axes (axis in [0, NumHexAxes)) — the "corridor" of a highway scenario. The
+// distance is measured in the flat hex embedding of the layout, not through
+// the wrap-around closure, so the corridor is a single straight row of cells
+// and the contrast between corridor and off-corridor cells is preserved on
+// the toroidal rings. It returns nil when the topology carries no hex
+// embedding (plain rings) or the cell or axis is out of range.
+func (t *Topology) AxisDistances(through, axis int) []int {
+	if t.coords == nil || through < 0 || through >= t.numCells || axis < 0 || axis >= NumHexAxes {
+		return nil
+	}
+	center := t.coords[through]
+	out := make([]int, t.numCells)
+	for i, c := range t.coords {
+		q, r := c.q-center.q, c.r-center.r
+		// The perpendicular hex distance from the line through the origin
+		// along lattice direction d is the absolute value of the cube
+		// coordinate d leaves unchanged: axis 0 runs along (1, 0) (constant
+		// r), axis 1 along (0, 1) (constant q), axis 2 along (1, -1)
+		// (constant q+r).
+		switch axis {
+		case 0:
+			out[i] = abs(r)
+		case 1:
+			out[i] = abs(q)
+		default:
+			out[i] = abs(q + r)
+		}
+	}
+	return out
 }
 
 // HandoverTarget returns the cell a user in the given cell hands over to,

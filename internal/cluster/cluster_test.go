@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"math"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -270,5 +272,78 @@ func TestDistances(t *testing.T) {
 	}
 	if topo.Eccentricity(42) != -1 {
 		t.Error("out-of-range eccentricity should be -1")
+	}
+}
+
+// TestAxisDistances pins the corridor geometry: the corridor of an axis
+// through a cell is a straight row in the hex embedding, distances grow
+// perpendicular to it, every hex topology supports all three axes, and
+// coordinate-less topologies (plain rings) report none.
+func TestAxisDistances(t *testing.T) {
+	// Seed cluster, axis 0 through the mid cell: the mid cell and the two
+	// ring cells on the axis are the corridor, every other cell is one off.
+	topo := NewHexCluster()
+	if got, want := topo.AxisDistances(MidCell, 0), []int{0, 0, 1, 1, 0, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("7-cell axis 0 distances = %v, want %v", got, want)
+	}
+
+	for _, cells := range []int{7, 19, 37} {
+		topo, err := Preset(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for axis := 0; axis < NumHexAxes; axis++ {
+			dist := topo.AxisDistances(MidCell, axis)
+			if len(dist) != cells {
+				t.Fatalf("%d cells axis %d: %d distances", cells, axis, len(dist))
+			}
+			if dist[MidCell] != 0 {
+				t.Errorf("%d cells axis %d: the center is not on its own corridor", cells, axis)
+			}
+			var counts []int
+			for _, d := range dist {
+				if d < 0 {
+					t.Fatalf("%d cells axis %d: negative distance", cells, axis)
+				}
+				for len(counts) <= d {
+					counts = append(counts, 0)
+				}
+				counts[d]++
+			}
+			// A hex ball of radius r has 2r+1 cells on any axis through the
+			// center and 2r+1-d on each side at perpendicular distance d.
+			r := (topo.Eccentricity(MidCell))
+			if got, want := counts[0], 2*r+1; cells != 7 && got != want {
+				t.Errorf("%d cells axis %d: %d corridor cells, want %d", cells, axis, got, want)
+			}
+			for d := 1; d < len(counts); d++ {
+				if cells != 7 && counts[d] != 2*(2*r+1-d) {
+					t.Errorf("%d cells axis %d: %d cells at distance %d, want %d",
+						cells, axis, counts[d], d, 2*(2*r+1-d))
+				}
+			}
+		}
+		// The three axes are related by lattice symmetry: the multiset of
+		// distances must match across axes.
+		for axis := 1; axis < NumHexAxes; axis++ {
+			a := append([]int(nil), topo.AxisDistances(MidCell, 0)...)
+			b := append([]int(nil), topo.AxisDistances(MidCell, axis)...)
+			sort.Ints(a)
+			sort.Ints(b)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%d cells: axis %d distance multiset differs from axis 0", cells, axis)
+			}
+		}
+	}
+
+	if topo.AxisDistances(-1, 0) != nil || topo.AxisDistances(0, NumHexAxes) != nil || topo.AxisDistances(99, 0) != nil {
+		t.Error("out-of-range cell or axis should yield nil")
+	}
+	ring, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.AxisDistances(0, 0) != nil {
+		t.Error("plain rings carry no hex embedding and should yield nil")
 	}
 }

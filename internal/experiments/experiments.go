@@ -36,11 +36,14 @@
 //
 //   - Simulator series: every sweep point calls runner.Run, whose summary is
 //     bit-identical for a given (SimSeed, replication options) regardless of
-//     Workers and Shards. Adaptive precision mode (Options.Precision)
-//     preserves this: the stopping decision is a pure function of the merged
-//     results after each deterministic batch, so the realized replication
-//     count of every point — and with it every plotted value and error bar —
-//     is reproducible across machines and worker counts.
+//     how work is scheduled onto the pool. Adaptive precision mode
+//     (Options.Precision) preserves this per pool width: the stopping
+//     decision is a pure function of the merged results after each batch,
+//     and the batch boundaries are quantized to the worker bound (the
+//     runner's pool-sized growth), so the realized replication count of
+//     every point — and with it every plotted value and error bar — is
+//     reproducible for a given (options, Workers) pair; pin Workers
+//     explicitly to reproduce adaptive sweeps across machines.
 //
 //   - Assembly: every fan-out writes into a slot pre-indexed by (series,
 //     point), errors propagate from the lowest failing index, and series

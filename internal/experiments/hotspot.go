@@ -22,12 +22,15 @@ type hotspotMeasure struct {
 // scenario and reports the spatial response of the cluster: one figure per
 // measure, the per-cell values grouped by hex distance from the scenario's
 // center cell (cells at equal distance are statistically identical under a
-// radial scenario and are averaged), one series per arrival rate. This is the
-// first workload the analytical model cannot express — the simulator series
-// are the reference, so no model curves appear. Options.Scenario selects the
-// scenario (default: the built-in hotspot preset) and Options.Cells the
-// cluster (default: the 19-cell hex ring, the smallest cluster with three
-// distinct distance groups).
+// radial scenario and are averaged; corridor scenarios group by distance
+// from the corridor axis instead), one series per arrival rate. The set
+// includes the handover-flow figure (hsp05), the signature measure of
+// mobility scenarios: dwell-time multipliers skew it independently of the
+// carried load. This is the first workload the analytical model cannot
+// express — the simulator series are the reference, so no model curves
+// appear. Options.Scenario selects the scenario (default: the built-in
+// hotspot preset) and Options.Cells the cluster (default: the 19-cell hex
+// ring, the smallest cluster with three distinct distance groups).
 func HotspotFigures(o Options) ([]Figure, error) {
 	o = o.withDefaults()
 	if o.Cells == 0 {
@@ -47,8 +50,23 @@ func HotspotFigures(o Options) ([]Figure, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
+	// Validate up front so a malformed spec (an out-of-range corridor axis,
+	// say) is named precisely instead of surfacing as a nil distance vector
+	// misdiagnosed below as a center/cluster mismatch.
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
 	center := spec.Spatial.Center
+	// Cells are grouped by the distance the scenario's shape is a function
+	// of: perpendicular distance from the corridor axis for corridor shapes
+	// (where cells at equal radial distance are not statistically identical),
+	// radial hex distance from the center otherwise.
+	xlabel := fmt.Sprintf("hex distance from scenario center (cell %d)", center)
 	dist := topo.Distances(center)
+	if spec.Spatial.Kind == scenario.Corridor {
+		xlabel = fmt.Sprintf("hex distance from the corridor axis (axis %d through cell %d)", spec.Spatial.Axis, center)
+		dist = topo.AxisDistances(center, spec.Spatial.Axis)
+	}
 	if dist == nil {
 		return nil, fmt.Errorf("%w: scenario center %d outside the %d-cell cluster", ErrInvalidOptions, center, o.Cells)
 	}
@@ -84,6 +102,14 @@ func HotspotFigures(o Options) ([]Figure, error) {
 			"GSM blocking probability", func(m sim.CellMeasures) float64 { return m.GSMBlocking }},
 		{"hsp04_ags_percell", "active GPRS sessions per cell under the %q scenario (%d cells)",
 			"active GPRS sessions", func(m sim.CellMeasures) float64 { return m.AverageSessions }},
+		// The mobility figure: outbound handover intensity per cell. Under a
+		// pure rate scenario this follows the carried load; under a mobility
+		// profile (highway, hotspot-pedestrian) the dwell-time multipliers
+		// skew it independently of the load — the spatial signature the
+		// paper's single dwell time cannot produce.
+		{"hsp05_hoflow_percell", "outbound handover flow per cell under the %q scenario (%d cells)",
+			"outbound handovers (1/s)",
+			func(m sim.CellMeasures) float64 { return float64(m.HandoversOut) / o.SimMeasurementSec }},
 	}
 
 	figs := make([]Figure, 0, len(measures))
@@ -91,7 +117,7 @@ func HotspotFigures(o Options) ([]Figure, error) {
 		fig := Figure{
 			ID:     hm.id,
 			Title:  fmt.Sprintf(hm.title, name, o.Cells),
-			XLabel: fmt.Sprintf("hex distance from scenario center (cell %d)", center),
+			XLabel: xlabel,
 			YLabel: hm.ylabel,
 		}
 		for ri, rate := range rates {

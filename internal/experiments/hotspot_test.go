@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/scenario"
@@ -23,8 +24,8 @@ func TestHotspotFiguresShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 4 {
-		t.Fatalf("expected 4 hotspot figures, got %d", len(figs))
+	if len(figs) != 5 {
+		t.Fatalf("expected 5 hotspot figures, got %d", len(figs))
 	}
 	byID := map[string]Figure{}
 	for _, fig := range figs {
@@ -54,6 +55,49 @@ func TestHotspotFiguresShape(t *testing.T) {
 		if math.IsNaN(y) || math.IsInf(y, 0) {
 			t.Errorf("non-finite figure value %v", y)
 		}
+	}
+}
+
+// TestHotspotFiguresHighwayGroupsByAxis checks the mobility figure under a
+// corridor scenario: cells group by distance from the corridor axis (not by
+// radial distance), and the corridor cells' outbound handover flow (hsp05)
+// exceeds the off-corridor cells' — the dwell-time skew the figure exists to
+// show.
+func TestHotspotFiguresHighwayGroupsByAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	o := testOptions()
+	o.Cells = 7
+	o.Replications = 2
+	o.SimMeasurementSec = 600
+	spec, err := scenario.Preset("highway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Scenario = &spec
+	figs, err := HotspotFigures(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flow Figure
+	for _, fig := range figs {
+		if fig.ID == "hsp05_hoflow_percell" {
+			flow = fig
+		}
+	}
+	if flow.ID == "" {
+		t.Fatal("handover-flow figure missing")
+	}
+	if !strings.Contains(flow.XLabel, "corridor axis") {
+		t.Errorf("corridor scenarios should group by axis distance, x label %q", flow.XLabel)
+	}
+	last := flow.Series[len(flow.Series)-1]
+	if len(last.X) != 2 { // seven-cell cluster: axis distances 0 and 1
+		t.Fatalf("expected 2 axis-distance groups, got %d", len(last.X))
+	}
+	if !(last.Y[0] > last.Y[1]) {
+		t.Errorf("corridor cells should hand over more often than off-corridor cells: %v", last.Y)
 	}
 }
 

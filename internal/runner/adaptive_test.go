@@ -3,6 +3,7 @@ package runner
 import (
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/cluster"
@@ -167,8 +168,11 @@ func TestAdaptiveStopsEarlierAtFivePercent(t *testing.T) {
 		t.Skip("replicated simulation runs skipped in -short mode")
 	}
 	const fixedR = 16
+	// Workers 1 pins the plain half-again growth schedule: the pool-sized
+	// batch quantization (see growBatch) would otherwise move the stopping
+	// boundaries with the machine's core count.
 	sum, err := Run(testConfig(), Options{
-		Precision: 0.05, Target: MeasureThroughput,
+		Precision: 0.05, Target: MeasureThroughput, Workers: 1,
 		MinReplications: 4, MaxReplications: fixedR, BaseSeed: 1,
 	})
 	if err != nil {
@@ -185,6 +189,85 @@ func TestAdaptiveStopsEarlierAtFivePercent(t *testing.T) {
 	}
 	if sum.Target != MeasureThroughput {
 		t.Errorf("summary target = %v", sum.Target)
+	}
+}
+
+// TestGrowBatchQuantization pins the adaptive growth schedule: half-again
+// growth with a floor of two, rounded up to a multiple of the gating pool
+// width, kept even under antithetic pairing.
+func TestGrowBatchQuantization(t *testing.T) {
+	for _, tc := range []struct {
+		n, pool int
+		vr      VarianceReduction
+		want    int
+	}{
+		{2, 1, VRNone, 2},        // floor
+		{4, 1, VRNone, 2},        // half-again, pool 1 = legacy schedule
+		{10, 1, VRNone, 5},       // half-again
+		{4, 8, VRNone, 8},        // floor rounded up to the pool
+		{10, 8, VRNone, 8},       // 5 rounded up to one pool
+		{20, 8, VRNone, 16},      // 10 rounded up to two pools
+		{9, 3, VRNone, 6},        // 4 rounded up to 6
+		{4, 3, VRAntithetic, 4},  // 2 -> pool 3 -> even 4
+		{10, 8, VRAntithetic, 8}, // already even
+	} {
+		if got := growBatch(tc.n, tc.pool, tc.vr); got != tc.want {
+			t.Errorf("growBatch(%d, %d, %v) = %d, want %d", tc.n, tc.pool, tc.vr, got, tc.want)
+		}
+	}
+}
+
+// TestAdaptivePoolSizedBatchesKeepStopPoint runs the same unconverging
+// adaptive workload under two pool widths: the batch boundaries differ (the
+// narrow pool follows the legacy half-again schedule, the wide pool jumps in
+// pool-sized strides — observed through the Progress totals), but both land
+// on MaxReplications, so the stop point is unchanged and the merged results
+// are bit-identical to each other and to the fixed-R run.
+func TestAdaptivePoolSizedBatchesKeepStopPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated simulation runs skipped in -short mode")
+	}
+	cfg := testConfig()
+	boundaries := func(workers int) (Summary, []int) {
+		var mu sync.Mutex
+		var totals []int
+		sum, err := Run(cfg, Options{
+			Precision: 1e-12, MinReplications: 2, MaxReplications: 12,
+			Workers: workers, BaseSeed: 7,
+			Progress: func(done, total int) {
+				mu.Lock()
+				if n := len(totals); n == 0 || totals[n-1] != total {
+					totals = append(totals, total)
+				}
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, totals
+	}
+
+	narrow, narrowTotals := boundaries(1)
+	wide, wideTotals := boundaries(5)
+	if want := []int{2, 4, 6, 9, 12}; !reflect.DeepEqual(narrowTotals, want) {
+		t.Errorf("pool width 1 batch boundaries = %v, want the legacy schedule %v", narrowTotals, want)
+	}
+	if want := []int{2, 7, 12}; !reflect.DeepEqual(wideTotals, want) {
+		t.Errorf("pool width 5 batch boundaries = %v, want pool-sized strides %v", wideTotals, want)
+	}
+	if narrow.Replications != 12 || wide.Replications != 12 {
+		t.Fatalf("both runs should hit the cap: %d vs %d", narrow.Replications, wide.Replications)
+	}
+	if !reflect.DeepEqual(narrow.Merged, wide.Merged) {
+		t.Error("same stop point, different pool widths: merged results must be bit-identical")
+	}
+	fixed, err := Run(cfg, Options{Replications: 12, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(narrow.Merged, fixed.Merged) {
+		t.Error("capped adaptive run differs from the fixed-R run")
 	}
 }
 

@@ -184,6 +184,9 @@ func controlForConfig(cfg sim.Config) (controlInfo, error) {
 	if cfg.Rates != nil {
 		return controlInfo{}, fmt.Errorf("runner: control variates require the uniform baseline load, not a scenario rate profile")
 	}
+	if cfg.Mobility != nil {
+		return controlInfo{}, fmt.Errorf("runner: control variates require the paper's symmetric dwell times, not a mobility profile")
+	}
 	voice, _ := cfg.BaseRates()
 	hb, err := erlang.BalanceHandover(voice, 1/cfg.GSMCallDurationSec, 1/cfg.GSMDwellTimeSec,
 		cfg.Channels.GSMChannels(), 0, 0)

@@ -52,10 +52,17 @@
 //     set along the same substream sequence (replication i exists
 //     independently of when the loop decided to run it), and the stopping
 //     decision is a pure function of the merged results after each batch.
-//     The realized replication count — and therefore every reported number
-//     — depends only on (configuration, base seed, precision, bounds, VR),
-//     never on scheduling. With the threshold disabled the fixed-R path is
-//     taken unchanged, bit for bit.
+//     Growth batches are sized to the worker pool gating the replication
+//     fan-out — half-again growth rounded up to a multiple of the pool
+//     width, so a wide machine never ends a batch with most workers idle
+//     behind a straggler. The realized replication count — and therefore
+//     every reported number — depends only on (configuration, base seed,
+//     precision, bounds, VR, pool width), never on how replications are
+//     scheduled onto workers: replication i is the same seeded run under
+//     every schedule, and whenever two pool widths evaluate the rule at the
+//     same boundary (a first batch that already converges, or a run that
+//     hits MaxReplications) their results are bit-identical. With the
+//     threshold disabled the fixed-R path is taken unchanged, bit for bit.
 //
 // The package also exposes the generic concurrency primitives the experiment
 // harness shares with the replication engine: Limiter, a counting semaphore
@@ -88,7 +95,11 @@ type Options struct {
 	// the count); rounded up to an even count under VRAntithetic.
 	Replications int
 	// Workers bounds the number of replications simulated concurrently; the
-	// zero value means runtime.NumCPU(). Ignored when Limiter is set.
+	// zero value means runtime.NumCPU(). Ignored when Limiter is set. In
+	// adaptive mode the width of the gating pool also sizes the growth
+	// batches (rounded up to a pool multiple), so an explicit Workers pins
+	// the stopping boundaries across machines; Workers 1 reproduces the
+	// plain half-again growth schedule.
 	Workers int
 	// BaseSeed is the seed the per-replication substreams are derived from;
 	// the zero value means 1.
@@ -357,6 +368,10 @@ func mergePerCell(results []sim.Results) []sim.CellMeasures {
 			m.PacketsDelivered += c.PacketsDelivered
 			m.HandoversIn += c.HandoversIn
 			m.HandoversOut += c.HandoversOut
+			m.VoiceHandoversOut += c.VoiceHandoversOut
+			m.SessionHandoversOut += c.SessionHandoversOut
+			m.HandoverArrivals += c.HandoverArrivals
+			m.HandoverFailures += c.HandoverFailures
 		}
 		merged[i] = m
 	}
@@ -367,12 +382,16 @@ func mergePerCell(results []sim.Results) []sim.CellMeasures {
 // (the configuration's own Seed field is ignored; replication i runs with
 // SeedFor(BaseSeed, i), or SeedFor(BaseSeed, i/2) on paired stream kinds
 // under VRAntithetic) and merges them. With Precision 0 exactly Replications
-// runs execute; with Precision > 0 the adaptive stopping rule grows the
-// count in batches until the target measure's relative confidence half-width
-// reaches the threshold or MaxReplications is hit. The merged result is
-// bit-identical for a given (BaseSeed, options) regardless of worker count
-// and of the Shards setting (the sharded engine reproduces the serial engine
-// exactly).
+// runs execute, and the merged result is bit-identical for a given
+// (BaseSeed, options) regardless of worker count and of the Shards setting
+// (the sharded engine reproduces the serial engine exactly). With
+// Precision > 0 the adaptive stopping rule grows the count in pool-sized
+// batches (growBatch) until the target measure's relative confidence
+// half-width reaches the threshold or MaxReplications is hit; the batch
+// boundaries — and with them the realized count — depend on the width of
+// the gating pool, so pin Workers explicitly to reproduce an adaptive run
+// across machines (scheduling within a given pool width never changes any
+// result).
 func Run(cfg sim.Config, o Options) (Summary, error) {
 	o = o.withDefaults()
 	lim := o.Limiter
@@ -468,10 +487,11 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 		return finish(mergeVR(results, level, o.VR, control)), nil
 	}
 
-	// Adaptive mode: grow the replication set in batches (half-again growth,
-	// at least two per batch) and re-check the stopping rule after each. The
-	// batch boundaries affect only scheduling — replication i is the same
-	// run no matter which batch issued it.
+	// Adaptive mode: grow the replication set in batches (half-again growth
+	// sized to the worker pool, see growBatch) and re-check the stopping
+	// rule after each. Replication i is the same run no matter which batch
+	// issued it, so the boundaries determine only where the rule is
+	// evaluated.
 	results := make([]sim.Results, 0, o.MaxReplications)
 	n := 0
 	next := o.MinReplications
@@ -494,16 +514,33 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 		if n >= o.MaxReplications {
 			return sum, nil
 		}
-		grow := n / 2
-		if grow < 2 {
-			grow = 2
-		}
-		if o.VR == VRAntithetic {
-			grow += grow % 2
-		}
-		next = n + grow
+		next = n + growBatch(n, outer.Cap(), o.VR)
 		if next > o.MaxReplications {
 			next = o.MaxReplications
 		}
 	}
+}
+
+// growBatch sizes the next adaptive batch: half-again growth (at least two
+// replications), rounded up to a multiple of the width of the worker pool
+// gating the replication fan-out — Workers/Limiter for serial replications,
+// Admission for sharded ones. A batch that is a pool multiple keeps every
+// worker busy until the batch boundary, so wide machines do not straggle on
+// a sub-pool-sized growth increment; the final batch may still be partial
+// when MaxReplications clamps it. Under VRAntithetic the growth is kept even
+// so antithetic pairs stay whole.
+func growBatch(n, pool int, vr VarianceReduction) int {
+	grow := n / 2
+	if grow < 2 {
+		grow = 2
+	}
+	if pool > 1 {
+		if rem := grow % pool; rem != 0 {
+			grow += pool - rem
+		}
+	}
+	if vr == VRAntithetic {
+		grow += grow % 2
+	}
+	return grow
 }

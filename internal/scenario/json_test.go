@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPaths sweeps the JSON parsing and validation error paths with
+// one table entry per malformed document, asserting both that the error
+// wraps ErrInvalidScenario (so callers can errors.Is it) and that the message
+// names the specific defect — a parse failure that collapses every mistake
+// into one generic error would make hand-written scenario files miserable to
+// debug.
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the specific wrapped error
+	}{
+		{"empty input", ``, "EOF"},
+		{"negative hotspot peak", `{"spatial": {"kind": "hotspot", "peak": -1, "decay": 1}}`,
+			"hotspot peak -1"},
+		{"NaN peak is not JSON", `{"spatial": {"kind": "hotspot", "peak": NaN, "decay": 1}}`,
+			"invalid character"},
+		{"negative gradient endpoint", `{"spatial": {"kind": "gradient", "low": -0.5, "high": 1}}`,
+			"gradient endpoints low=-0.5"},
+		{"unknown shape name", `{"spatial": {"kind": "volcano"}}`,
+			`unknown spatial kind "volcano"`},
+		{"unknown temporal kind", `{"temporal": {"kind": "sine"}}`,
+			`unknown temporal kind "sine"`},
+		{"unknown field", `{"spatial": {"kind": "uniform", "sigma": 2}}`,
+			`unknown field "sigma"`},
+		{"overlapping temporal steps",
+			`{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}, {"at_sec": 10, "scale": 2}, {"at_sec": 10, "scale": 3}]}}`,
+			"strictly increasing"},
+		{"first step not at zero",
+			`{"temporal": {"kind": "steps", "steps": [{"at_sec": 5, "scale": 1}]}}`,
+			"first step must start at 0"},
+		{"empty steps schedule", `{"temporal": {"kind": "steps"}}`,
+			"steps temporal profile without steps"},
+		{"negative step scale",
+			`{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": -2}]}}`,
+			"step scale -2"},
+		{"step beyond the period",
+			`{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}, {"at_sec": 50, "scale": 2}], "period_sec": 40}}`,
+			"beyond the period"},
+		{"corridor axis out of range",
+			`{"spatial": {"kind": "corridor", "peak": 3, "decay": 1, "axis": 5}}`,
+			"corridor axis 5"},
+		{"corridor without decay", `{"spatial": {"kind": "corridor", "peak": 3}}`,
+			"corridor decay 0"},
+		{"negative mobility multiplier",
+			`{"mobility": {"spatial": {"kind": "hotspot", "peak": -0.5, "decay": 1}}}`,
+			"hotspot peak -0.5"},
+		{"zero mobility dwell scale",
+			`{"mobility": {"spatial": {"kind": "uniform"}, "temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 0}]}}}`,
+			"dwell scale 0"},
+		{"mobility error is attributed",
+			`{"mobility": {"spatial": {"kind": "volcano"}}}`,
+			"in mobility profile"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.in)
+			}
+			if !errors.Is(err, ErrInvalidScenario) {
+				t.Errorf("error does not wrap ErrInvalidScenario: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the defect (want substring %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadAttributesFileErrors checks that Load reports the offending path
+// for both unreadable files and invalid contents.
+func TestLoadAttributesFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(dir + "/missing.json"); err == nil || errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("missing file should be an I/O error, got %v", err)
+	}
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{"spatial": {"kind": "volcano"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(bad)
+	if err == nil || !errors.Is(err, ErrInvalidScenario) {
+		t.Fatalf("invalid contents should wrap ErrInvalidScenario, got %v", err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the file", err)
+	}
+}
+
+// TestParseMobilityRoundTrip pins the JSON form of the mobility extension:
+// spatial and temporal blocks under "mobility" decode into Spec.Mobility.
+func TestParseMobilityRoundTrip(t *testing.T) {
+	doc := []byte(`{
+		"name": "commute",
+		"spatial": {"kind": "corridor", "peak": 3, "decay": 1, "axis": 1},
+		"mobility": {
+			"spatial": {"kind": "corridor", "peak": 0.25, "decay": 1, "axis": 1},
+			"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}, {"at_sec": 900, "scale": 0.5}]}
+		}
+	}`)
+	s, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mobility == nil {
+		t.Fatal("mobility block not decoded")
+	}
+	if s.Mobility.Spatial.Kind != Corridor || s.Mobility.Spatial.Peak != 0.25 || s.Mobility.Spatial.Axis != 1 {
+		t.Errorf("mobility spatial mismatch: %+v", s.Mobility.Spatial)
+	}
+	if len(s.Mobility.Temporal.Steps) != 2 || s.Mobility.Temporal.Steps[1].Scale != 0.5 {
+		t.Errorf("mobility temporal mismatch: %+v", s.Mobility.Temporal)
+	}
+}

@@ -40,6 +40,21 @@ func presets() map[string]Spec {
 		// generators compose multiplicatively.
 		"hotspot-busyhour": {Name: "hotspot-busyhour", Spatial: hotspot,
 			Temporal: Temporal{Kind: Steps, Steps: busyHourSteps()}},
+		// A highway corridor along hex axis 0 through the mid cell: the
+		// corridor cells carry three times the baseline load, and the fast
+		// vehicles on it dwell only a quarter of the baseline time, so the
+		// handover flow is strongly skewed along the axis.
+		"highway": {Name: "highway",
+			Spatial: Spatial{Kind: Corridor, Center: cluster.MidCell, Peak: 3, Decay: 1},
+			Mobility: &Mobility{
+				Spatial: Spatial{Kind: Corridor, Center: cluster.MidCell, Peak: 0.25, Decay: 1}}},
+		// The radial hotspot populated by slow pedestrians: the center cell
+		// carries four times the load but its users dwell three times longer,
+		// so the heavier load hands over less often — the opposite skew of
+		// the highway.
+		"hotspot-pedestrian": {Name: "hotspot-pedestrian", Spatial: hotspot,
+			Mobility: &Mobility{
+				Spatial: Spatial{Kind: Hotspot, Center: cluster.MidCell, Peak: 3, Decay: 1.5}}},
 	}
 }
 

@@ -7,14 +7,24 @@
 // package describes how.
 //
 // A Spec names a spatial load shape (uniform, radial hotspot with exponential
-// decay by hex distance, linear gradient) and a temporal profile
-// (constant, or a piecewise-constant step schedule such as a busy-hour ramp,
-// optionally periodic). Compiling a Spec against a cluster topology and the
-// baseline per-cell arrival rates yields a Profile — an immutable, pure
-// per-cell rate function satisfying the sim.RateProfile contract, so the
-// serial and the sharded engine remain bit-identical under every scenario.
-// The uniform scenario compiles to weight 1 and scale 1 everywhere and
-// therefore reproduces the paper's symmetric load bit for bit.
+// decay by hex distance, linear gradient, corridor along a hex axis) and a
+// temporal profile (constant, or a piecewise-constant step schedule such as a
+// busy-hour ramp, optionally periodic). Compiling a Spec against a cluster
+// topology and the baseline per-cell arrival rates yields a Profile — an
+// immutable, pure per-cell rate function satisfying the sim.RateProfile
+// contract, so the serial and the sharded engine remain bit-identical under
+// every scenario. The uniform scenario compiles to weight 1 and scale 1
+// everywhere and therefore reproduces the paper's symmetric load bit for bit.
+//
+// A Spec can additionally declare a mobility profile (Spec.Mobility): the
+// same spatial-shape vocabulary crossed with the same temporal profiles, but
+// multiplying the mean GSM/GPRS dwell times instead of the arrival rates.
+// Multipliers above 1 model slow users (pedestrians lingering in a hotspot),
+// below 1 fast ones (vehicles on a highway corridor); skewed dwell times skew
+// the handover flow itself, which the paper's single-dwell-time model cannot
+// express. Mobility compiles into a DwellProfile satisfying the
+// sim.MobilityProfile contract; a uniform mobility shape with multiplier 1
+// reproduces the symmetric handover flow bit for bit.
 //
 // Specs serialize to a small JSON format (see Parse and Load) and a handful
 // of named presets are built in (see Preset and Names).
@@ -69,6 +79,11 @@ const (
 	// Gradient interpolates linearly in hex distance from the center cell:
 	// weight(d) = Low + (High-Low) * d / eccentricity(center).
 	Gradient = "gradient"
+	// Corridor peaks along a hexagonal lattice axis through the center cell
+	// (a highway) and decays exponentially with the perpendicular hex
+	// distance from that axis: weight(d) = 1 + (Peak-1) * exp(-d/Decay) with
+	// d = cluster.Topology.AxisDistances. It requires a hexagonal topology.
+	Corridor = "corridor"
 )
 
 // Temporal profile kinds.
@@ -90,6 +105,24 @@ type Spec struct {
 	Spatial Spatial `json:"spatial"`
 	// Temporal selects the time-varying scale profile.
 	Temporal Temporal `json:"temporal,omitempty"`
+	// Mobility, when non-nil, shapes the per-cell dwell-time multipliers
+	// alongside the arrival rates; nil means multiplier 1 everywhere (the
+	// paper's single dwell time per service).
+	Mobility *Mobility `json:"mobility,omitempty"`
+}
+
+// Mobility declares the dwell-time shaping of a scenario: a spatial shape
+// crossed with a temporal profile, exactly like the rate shaping, but the
+// compiled value multiplies the mean GSM and GPRS dwell times of the
+// session's current cell instead of the arrival rates. Because dwell times
+// must stay positive, every compiled multiplier has to be strictly positive:
+// shapes with zero weights and schedules with zero scales are rejected at
+// compile time.
+type Mobility struct {
+	// Spatial selects the per-cell dwell-time weight shape.
+	Spatial Spatial `json:"spatial"`
+	// Temporal selects the time-varying dwell scale profile.
+	Temporal Temporal `json:"temporal,omitempty"`
 }
 
 // Spatial describes the per-cell weight shape of a scenario. Weights
@@ -110,6 +143,11 @@ type Spatial struct {
 	// cells farthest from it.
 	Low  float64 `json:"low,omitempty"`
 	High float64 `json:"high,omitempty"`
+	// Axis selects the lattice axis of a Corridor shape (0, 1, or 2 — see
+	// cluster.NumHexAxes); the corridor runs through Center along it. Peak
+	// and Decay have their Hotspot meaning, with the distance measured
+	// perpendicular to the axis instead of radially.
+	Axis int `json:"axis,omitempty"`
 	// Normalize rescales the weights to mean 1, so the cluster-aggregate
 	// load matches the uniform scenario and only its spatial distribution
 	// changes.
@@ -145,7 +183,34 @@ func (s Spec) Validate() error {
 	if err := s.Spatial.validate(); err != nil {
 		return err
 	}
-	return s.Temporal.validate()
+	if err := s.Temporal.validate(); err != nil {
+		return err
+	}
+	if s.Mobility != nil {
+		if err := s.Mobility.validate(); err != nil {
+			return fmt.Errorf("%w (in mobility profile)", err)
+		}
+	}
+	return nil
+}
+
+// validate checks the mobility declaration: the shared spatial/temporal rules
+// plus strict positivity of every temporal scale (a zero scale would mean a
+// zero dwell time — an infinite handover rate). Zero spatial weights can only
+// be detected against a topology and are rejected by Compile.
+func (m Mobility) validate() error {
+	if err := m.Spatial.validate(); err != nil {
+		return err
+	}
+	if err := m.Temporal.validate(); err != nil {
+		return err
+	}
+	for _, st := range m.Temporal.Steps {
+		if st.Scale <= 0 {
+			return fmt.Errorf("%w: dwell scale %v at %v s must be positive", ErrInvalidScenario, st.Scale, st.AtSec)
+		}
+	}
+	return nil
 }
 
 func finitePos(v float64) bool { return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) }
@@ -165,6 +230,16 @@ func (sp Spatial) validate() error {
 	case Gradient:
 		if !finiteNonNeg(sp.Low) || !finiteNonNeg(sp.High) {
 			return fmt.Errorf("%w: gradient endpoints low=%v high=%v", ErrInvalidScenario, sp.Low, sp.High)
+		}
+	case Corridor:
+		if !finiteNonNeg(sp.Peak) {
+			return fmt.Errorf("%w: corridor peak %v", ErrInvalidScenario, sp.Peak)
+		}
+		if !finitePos(sp.Decay) {
+			return fmt.Errorf("%w: corridor decay %v", ErrInvalidScenario, sp.Decay)
+		}
+		if sp.Axis < 0 || sp.Axis >= cluster.NumHexAxes {
+			return fmt.Errorf("%w: corridor axis %d (want 0..%d)", ErrInvalidScenario, sp.Axis, cluster.NumHexAxes-1)
 		}
 	default:
 		return fmt.Errorf("%w: unknown spatial kind %q", ErrInvalidScenario, sp.Kind)
@@ -223,8 +298,7 @@ type Profile struct {
 	weights []float64
 	voice   float64
 	data    float64
-	steps   []Step // nil means constant scale 1
-	period  float64
+	sched   schedule
 }
 
 // Compile resolves the scenario against a cluster topology and the baseline
@@ -246,18 +320,15 @@ func (s Spec) Compile(topo *cluster.Topology, voiceRate, dataRate float64) (*Pro
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{name: s.Name, weights: weights, voice: voiceRate, data: dataRate}
-	if s.Temporal.Kind == Steps {
-		p.steps = append([]Step(nil), s.Temporal.Steps...)
-		p.period = s.Temporal.PeriodSec
-	}
-	return p, nil
+	return &Profile{name: s.Name, weights: weights, voice: voiceRate, data: dataRate,
+		sched: newSchedule(s.Temporal)}, nil
 }
 
 // Apply compiles the scenario against the simulator configuration — its
 // topology (the paper's seven-cell cluster when nil) and baseline rates — and
-// installs the compiled profile as cfg.Rates. It returns the profile for
-// reporting (per-cell weights, scenario name).
+// installs the compiled rate profile as cfg.Rates and, when the spec declares
+// one, the compiled mobility profile as cfg.Mobility. It returns the rate
+// profile for reporting (per-cell weights, scenario name).
 func Apply(cfg *sim.Config, s Spec) (*Profile, error) {
 	topo := cfg.Topology
 	if topo == nil {
@@ -267,6 +338,18 @@ func Apply(cfg *sim.Config, s Spec) (*Profile, error) {
 	p, err := s.Compile(topo, voice, data)
 	if err != nil {
 		return nil, err
+	}
+	// Always overwrite the mobility profile, like the rate profile below: a
+	// spec without mobility must clear any profile a previous Apply on the
+	// same Config installed, or the old dwell skew would silently leak into
+	// the new scenario's runs.
+	cfg.Mobility = nil
+	if s.Mobility != nil {
+		dp, err := s.Mobility.Compile(topo)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mobility = dp
 	}
 	cfg.Rates = p
 	return p, nil
@@ -289,10 +372,9 @@ func (sp Spatial) weights(topo *cluster.Topology) ([]float64, error) {
 	if sp.Center >= n {
 		return nil, fmt.Errorf("%w: center cell %d outside the %d-cell cluster", ErrInvalidScenario, sp.Center, n)
 	}
-	dist := topo.Distances(sp.Center)
 	switch kind {
 	case Hotspot:
-		for i, d := range dist {
+		for i, d := range topo.Distances(sp.Center) {
 			if d < 0 {
 				return nil, fmt.Errorf("%w: cell %d unreachable from center %d", ErrInvalidScenario, i, sp.Center)
 			}
@@ -303,12 +385,20 @@ func (sp Spatial) weights(topo *cluster.Topology) ([]float64, error) {
 		if ecc < 0 {
 			return nil, fmt.Errorf("%w: cluster disconnected from center %d", ErrInvalidScenario, sp.Center)
 		}
-		for i, d := range dist {
+		for i, d := range topo.Distances(sp.Center) {
 			if ecc == 0 {
 				w[i] = sp.Low
 				continue
 			}
 			w[i] = sp.Low + (sp.High-sp.Low)*float64(d)/float64(ecc)
+		}
+	case Corridor:
+		dist := topo.AxisDistances(sp.Center, sp.Axis)
+		if dist == nil {
+			return nil, fmt.Errorf("%w: corridor shape needs a hexagonal topology with lattice coordinates", ErrInvalidScenario)
+		}
+		for i, d := range dist {
+			w[i] = 1 + (sp.Peak-1)*math.Exp(-float64(d)/sp.Decay)
 		}
 	}
 	if sp.Normalize {
@@ -348,22 +438,45 @@ func (p *Profile) Rates(cell int, t float64) (float64, float64) {
 
 // NextChange returns the earliest time strictly after t at which the scale —
 // and with it every cell's rates — changes, or +Inf for constant profiles.
-func (p *Profile) NextChange(t float64) float64 {
-	if len(p.steps) == 0 {
+func (p *Profile) NextChange(t float64) float64 { return p.sched.next(t) }
+
+// scale returns the temporal multiplier at time t.
+func (p *Profile) scale(t float64) float64 { return p.sched.scale(t) }
+
+// schedule is the compiled piecewise-constant temporal profile shared by rate
+// and mobility profiles: a step schedule, optionally periodic. The zero value
+// is the constant scale 1.
+type schedule struct {
+	steps  []Step // nil means constant scale 1
+	period float64
+}
+
+// newSchedule compiles a validated temporal declaration.
+func newSchedule(tp Temporal) schedule {
+	if tp.Kind != Steps {
+		return schedule{}
+	}
+	return schedule{steps: append([]Step(nil), tp.Steps...), period: tp.PeriodSec}
+}
+
+// next returns the earliest time strictly after t at which the scale changes,
+// or +Inf for constant schedules.
+func (s schedule) next(t float64) float64 {
+	if len(s.steps) == 0 {
 		return math.Inf(1)
 	}
-	if p.period > 0 {
-		k := math.Floor(t / p.period)
+	if s.period > 0 {
+		k := math.Floor(t / s.period)
 		for {
-			for _, st := range p.steps {
-				if b := k*p.period + st.AtSec; b > t {
+			for _, st := range s.steps {
+				if b := k*s.period + st.AtSec; b > t {
 					return b
 				}
 			}
 			k++
 		}
 	}
-	for _, st := range p.steps {
+	for _, st := range s.steps {
 		if st.AtSec > t {
 			return st.AtSec
 		}
@@ -372,18 +485,71 @@ func (p *Profile) NextChange(t float64) float64 {
 }
 
 // scale returns the temporal multiplier at time t: the Scale of the last step
-// at or before t (periodic profiles fold t into one period first). Times
+// at or before t (periodic schedules fold t into one period first). Times
 // before the schedule — possible only for negative t — scale by 1.
-func (p *Profile) scale(t float64) float64 {
-	if len(p.steps) == 0 {
+func (s schedule) scale(t float64) float64 {
+	if len(s.steps) == 0 {
 		return 1
 	}
-	if p.period > 0 {
-		t = t - math.Floor(t/p.period)*p.period
+	if s.period > 0 {
+		t = t - math.Floor(t/s.period)*s.period
 	}
-	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].AtSec > t })
+	i := sort.Search(len(s.steps), func(i int) bool { return s.steps[i].AtSec > t })
 	if i == 0 {
 		return 1
 	}
-	return p.steps[i-1].Scale
+	return s.steps[i-1].Scale
 }
+
+// DwellProfile is a compiled mobility declaration: per-cell dwell-time
+// weights crossed with a piecewise-constant temporal scale, evaluating to the
+// multiplier applied to the mean GSM/GPRS dwell times of a cell. It is
+// immutable after Compile, safe for concurrent use, and satisfies the
+// sim.MobilityProfile contract (piecewise constant, pure, strictly positive).
+type DwellProfile struct {
+	weights []float64
+	sched   schedule
+}
+
+// Compile resolves the mobility declaration against a cluster topology. On
+// top of the syntactic rules shared with the rate shapes it enforces strict
+// positivity: every compiled per-cell weight must be positive and finite,
+// because the weights multiply dwell-time means.
+func (m Mobility) Compile(topo *cluster.Topology) (*DwellProfile, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("%w: nil topology", ErrInvalidScenario)
+	}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("%w (in mobility profile)", err)
+	}
+	weights, err := m.Spatial.weights(topo)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range weights {
+		if !finitePos(w) {
+			return nil, fmt.Errorf("%w: dwell weight %v in cell %d must be positive", ErrInvalidScenario, w, i)
+		}
+	}
+	return &DwellProfile{weights: weights, sched: newSchedule(m.Temporal)}, nil
+}
+
+// NumCells returns the number of cells the profile was compiled for.
+func (p *DwellProfile) NumCells() int { return len(p.weights) }
+
+// Weights returns a copy of the per-cell dwell weight vector.
+func (p *DwellProfile) Weights() []float64 { return append([]float64(nil), p.weights...) }
+
+// Multiplier returns the dwell-time multiplier of the cell at time t:
+// weight(cell) * scale(t), constant on [t, NextChange(t)). Out-of-range cells
+// see the neutral multiplier 1.
+func (p *DwellProfile) Multiplier(cell int, t float64) float64 {
+	if cell < 0 || cell >= len(p.weights) {
+		return 1
+	}
+	return p.weights[cell] * p.sched.scale(t)
+}
+
+// NextChange returns the earliest time strictly after t at which any cell's
+// multiplier changes, or +Inf for constant profiles.
+func (p *DwellProfile) NextChange(t float64) float64 { return p.sched.next(t) }

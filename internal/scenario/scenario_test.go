@@ -94,6 +94,93 @@ func TestGradientInterpolatesByDistance(t *testing.T) {
 	}
 }
 
+// TestCorridorShapesAlongAxis checks the highway shape: cells on the lattice
+// axis through the center carry the peak weight, weights decay with the
+// perpendicular distance, and the shape needs a hex topology.
+func TestCorridorShapesAlongAxis(t *testing.T) {
+	topo := topo19(t)
+	spec := Spec{Spatial: Spatial{Kind: Corridor, Center: 0, Peak: 3, Decay: 1, Axis: 0}}
+	p, err := spec.Compile(topo, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Weights()
+	dist := topo.AxisDistances(0, 0)
+	var onAxis int
+	for i, d := range dist {
+		want := 1 + 2*math.Exp(-float64(d))
+		if math.Abs(w[i]-want) > 1e-12 {
+			t.Errorf("cell %d (axis distance %d): weight %v, want %v", i, d, w[i], want)
+		}
+		if d == 0 {
+			onAxis++
+			if w[i] != 3 {
+				t.Errorf("corridor cell %d weight %v, want the peak 3", i, w[i])
+			}
+		}
+	}
+	if onAxis != 5 {
+		t.Errorf("19-cell ring should have 5 corridor cells on an axis, found %d", onAxis)
+	}
+
+	ring, err := cluster.NewRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Compile(ring, 1, 1); err == nil {
+		t.Error("corridor on a plain ring (no hex embedding) should be rejected")
+	}
+}
+
+// TestMobilityCompilePositivity checks the mobility-specific compile rules:
+// multipliers must be strictly positive everywhere, and valid shapes produce
+// the weight-times-scale multiplier with correct change boundaries.
+func TestMobilityCompilePositivity(t *testing.T) {
+	topo := topo19(t)
+
+	// A hotspot with peak 0 zeroes the center cell's dwell — rejected.
+	zeroCenter := Mobility{Spatial: Spatial{Kind: Hotspot, Peak: 0, Decay: 100}}
+	if _, err := zeroCenter.Compile(topo); err == nil {
+		t.Error("near-zero dwell weight at the center should be rejected")
+	}
+	// A gradient reaching 0 at the center — rejected.
+	zeroLow := Mobility{Spatial: Spatial{Kind: Gradient, Low: 0, High: 2}}
+	if _, err := zeroLow.Compile(topo); err == nil {
+		t.Error("zero dwell weight should be rejected")
+	}
+	if _, err := (Mobility{}).Compile(nil); err == nil {
+		t.Error("nil topology should be rejected")
+	}
+
+	mob := Mobility{
+		Spatial: Spatial{Kind: Hotspot, Peak: 3, Decay: 1.5},
+		Temporal: Temporal{Kind: Steps, Steps: []Step{
+			{AtSec: 0, Scale: 1}, {AtSec: 100, Scale: 0.5}}},
+	}
+	p, err := mob.Compile(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCells() != 19 {
+		t.Fatalf("compiled for %d cells", p.NumCells())
+	}
+	if got := p.Multiplier(0, 0); got != 3 {
+		t.Errorf("center multiplier at t=0: %v, want 3", got)
+	}
+	if got := p.Multiplier(0, 100); got != 1.5 {
+		t.Errorf("center multiplier at t=100: %v, want 3*0.5", got)
+	}
+	if got := p.NextChange(0); got != 100 {
+		t.Errorf("NextChange(0) = %v, want 100", got)
+	}
+	if !math.IsInf(p.NextChange(100), 1) {
+		t.Errorf("NextChange(100) = %v, want +Inf", p.NextChange(100))
+	}
+	if got := p.Multiplier(99, 0); got != 1 {
+		t.Errorf("out-of-range cells must see the neutral multiplier, got %v", got)
+	}
+}
+
 // TestNormalizePreservesAggregateLoad checks that a normalized shape keeps
 // the cluster-aggregate load of the uniform scenario: the weights average 1.
 func TestNormalizePreservesAggregateLoad(t *testing.T) {
@@ -288,5 +375,52 @@ func TestApplyInstallsProfile(t *testing.T) {
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("configuration with scenario profile should validate: %v", err)
+	}
+	if cfg.Mobility != nil {
+		t.Error("a spec without mobility must not install a mobility profile")
+	}
+}
+
+// TestApplyInstallsMobility checks the dwell-profile side of Apply: mobility
+// presets install cfg.Mobility alongside cfg.Rates, the result validates,
+// and the compiled multipliers carry the declared skew.
+func TestApplyInstallsMobility(t *testing.T) {
+	cfg := sim.DefaultConfig(traffic.Model3, 0.5)
+	spec, err := Preset("highway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(&cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mobility == nil {
+		t.Fatal("highway preset should install a mobility profile")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("configuration with mobility profile should validate: %v", err)
+	}
+	dp, ok := cfg.Mobility.(*DwellProfile)
+	if !ok {
+		t.Fatalf("installed mobility profile has type %T", cfg.Mobility)
+	}
+	if got := dp.Multiplier(0, 0); got != 0.25 {
+		t.Errorf("corridor dwell multiplier %v, want 0.25", got)
+	}
+	if dp.NumCells() != 7 {
+		t.Errorf("nil topology should compile against the seven-cell cluster, got %d cells", dp.NumCells())
+	}
+
+	// Re-applying a mobility-less spec on the same Config must clear the
+	// profile — a stale dwell skew leaking into the next scenario's runs
+	// would silently misattribute results.
+	plain, err := Preset(Hotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(&cfg, plain); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mobility != nil {
+		t.Error("Apply must clear a previously installed mobility profile")
 	}
 }

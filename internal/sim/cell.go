@@ -140,6 +140,18 @@ type cell struct {
 	handoversIn  int64
 	handoversOut int64
 
+	// Handover-flow detail: outbound departures split by service, plus the
+	// receiving-side ledger — every handover message reaching this cell
+	// counts as an arrival, whether it is admitted (handoversIn), dropped
+	// for lack of capacity (handoverFailures), or found its voice call
+	// already completed in transit. Summed over all cells, arrivals balance
+	// departures exactly (wrap-around flow conservation) up to messages in
+	// flight across the measurement boundaries.
+	voiceHandoversOut   int64
+	sessionHandoversOut int64
+	handoverArrivals    int64
+	handoverFailures    int64
+
 	tcpTimeouts     int64
 	tcpFastRecovers int64
 }
@@ -212,6 +224,35 @@ func (c *cell) armArrival(voice bool) {
 	})
 }
 
+// armDwell schedules fire after an exponential dwell time whose mean is the
+// given base dwell time scaled by the cell's mobility profile, re-arming at
+// profile boundaries for time-varying multipliers: a draw that crosses the
+// next multiplier-change boundary is discarded and the timer redrawn at the
+// boundary with the new mean — exact for piecewise-constant multipliers by
+// the memorylessness of the exponential, mirroring armArrival. Under a nil
+// profile (and under any constant profile) the boundary is +Inf, so exactly
+// one variate is drawn per dwell; with multiplier 1 that variate equals the
+// profile-less draw, reproducing the symmetric handover flow bit for bit.
+// set receives every scheduled event handle (the dwell timer or a boundary
+// re-arm), so the owner's cancellable handle always tracks the pending
+// event. All decisions depend only on the cell's own stream and the (pure)
+// profile, which keeps the serial and sharded engines bit-identical.
+func (c *cell) armDwell(base float64, fire func(), set func(*des.Event)) {
+	mean := base
+	bound := math.Inf(1)
+	if prof := c.env.conf().Mobility; prof != nil {
+		now := c.now()
+		mean = base * prof.Multiplier(c.id, now)
+		bound = prof.NextChange(now)
+	}
+	dwell := c.streams.handover.Exponential(mean)
+	if now := c.now(); now+dwell >= bound {
+		set(c.schedule(bound-now, func() { c.armDwell(base, fire, set) }))
+		return
+	}
+	set(c.schedule(dwell, fire))
+}
+
 // gsmArrival handles a fresh GSM voice call.
 func (c *cell) gsmArrival() {
 	c.gsmArrivals++
@@ -241,8 +282,10 @@ func (c *cell) gprsArrival() {
 
 // receive handles a handover message arriving from another cell: the user is
 // admitted or dropped (handover failure) under the same admission rules as in
-// the source-cell-resident model.
+// the source-cell-resident model. Every message counts as a handover arrival
+// regardless of the outcome, so flow-conservation accounting balances.
 func (c *cell) receive(m handoverMsg) {
+	c.handoverArrivals++
 	switch m.kind {
 	case hoVoice:
 		c.receiveVoice(m.voice)
@@ -257,6 +300,7 @@ func (c *cell) receiveVoice(st voiceState) {
 		return // the call ended during the handover interruption
 	}
 	if !c.canAdmitVoice() {
+		c.handoverFailures++
 		return // handover failure: the call is dropped
 	}
 	c.addVoice()
@@ -270,6 +314,7 @@ func (c *cell) receiveVoice(st voiceState) {
 // activity phase.
 func (c *cell) receiveSession(st sessionState) {
 	if !c.canAdmitSession() {
+		c.handoverFailures++
 		return // handover failure: the session is forced to terminate
 	}
 	c.addSession()
@@ -438,6 +483,26 @@ type cellSnapshot struct {
 	gsmBlocked   int64
 	gprsArrivals int64
 	gprsBlocked  int64
+}
+
+// hoSnapshot is a copy of the cumulative handover-flow counters of one cell,
+// taken at the measurement-window start so the per-cell report covers the
+// measured period only.
+type hoSnapshot struct {
+	in, out            int64
+	voiceOut, sessOut  int64
+	arrivals, failures int64
+}
+
+func (c *cell) handoverSnapshot() hoSnapshot {
+	return hoSnapshot{
+		in:       c.handoversIn,
+		out:      c.handoversOut,
+		voiceOut: c.voiceHandoversOut,
+		sessOut:  c.sessionHandoversOut,
+		arrivals: c.handoverArrivals,
+		failures: c.handoverFailures,
+	}
 }
 
 func (c *cell) snapshot() cellSnapshot {

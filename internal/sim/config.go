@@ -53,6 +53,15 @@ type Config struct {
 	// RateProfile contract (piecewise constant, concurrency-safe, pure).
 	Rates RateProfile
 
+	// Mobility, when non-nil, scales the mean GSM/GPRS dwell times per cell
+	// and time (slow users in a hotspot, fast users on a highway corridor —
+	// see internal/scenario), skewing the handover flow itself. A nil value
+	// means multiplier 1 everywhere, the paper's single dwell time per
+	// service. Arrival, service, and handover-latency parameters are
+	// unaffected. Implementations must satisfy the MobilityProfile contract
+	// (piecewise constant, strictly positive, concurrency-safe, pure).
+	Mobility MobilityProfile
+
 	// HandoverLatencySec is the service interruption of a handover: the time
 	// a user is in transit between the source and the target cell, occupying
 	// resources in neither (default 100 ms, the classic GSM handover
@@ -205,13 +214,20 @@ func (c Config) Validate() error {
 			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 		}
 	}
-	if c.Rates != nil {
+	if c.Rates != nil || c.Mobility != nil {
 		cells := cluster.NewHexCluster().NumCells()
 		if c.Topology != nil {
 			cells = c.Topology.NumCells()
 		}
-		if err := validateRates(c.Rates, cells); err != nil {
-			return err
+		if c.Rates != nil {
+			if err := validateRates(c.Rates, cells); err != nil {
+				return err
+			}
+		}
+		if c.Mobility != nil {
+			if err := validateMobility(c.Mobility, cells); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -103,6 +103,20 @@ type CellMeasures struct {
 	PacketsDelivered int64
 	HandoversIn      int64
 	HandoversOut     int64
+
+	// Handover-flow detail, the signature measures of mobility scenarios
+	// (skewed dwell times skew these even when the load is uniform).
+	// HandoversOut splits by service into VoiceHandoversOut and
+	// SessionHandoversOut. HandoverArrivals counts every handover message
+	// reaching this cell — admitted (HandoversIn), dropped for lack of
+	// capacity (HandoverFailures), or carrying a voice call that completed
+	// in transit — so summed over all cells, arrivals balance departures
+	// exactly (wrap-around flow conservation) up to messages in flight
+	// across the measurement boundaries.
+	VoiceHandoversOut   int64
+	SessionHandoversOut int64
+	HandoverArrivals    int64
+	HandoverFailures    int64
 }
 
 // CellIntervals carries cross-replication confidence intervals for the

@@ -8,6 +8,7 @@
 package sim_test
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -48,16 +49,20 @@ func mustRun(t *testing.T, cfg sim.Config, shards int) sim.Results {
 }
 
 // TestScenariosSerialShardedBitIdentical is the acceptance contract of the
-// scenario layer: for every built-in scenario, serial and sharded runs of the
-// same configuration are bit-identical — per-cell measures included. -short
-// checks the seven-cell cluster; the full run adds the 19-cell hex ring with
-// several shard layouts.
+// scenario layer: for every built-in scenario — the pure rate presets and the
+// mobility presets (highway, hotspot-pedestrian) alike — serial and sharded
+// runs of the same configuration are bit-identical, per-cell measures and
+// handover-flow counters included. The table crosses every preset with the
+// {7, 19}-cell clusters and the {1, 4} engine layouts (1 is the serial
+// single-calendar engine, the reference the sharded runs are compared
+// against); the full run adds a 2-shard layout so uneven cell groupings stay
+// covered. -short restricts the table to the seven-cell cluster.
 func TestScenariosSerialShardedBitIdentical(t *testing.T) {
 	sizes := []int{7}
-	shardCounts := []int{3}
+	shardCounts := []int{4}
 	if !testing.Short() {
 		sizes = append(sizes, 19)
-		shardCounts = append(shardCounts, 2, 4)
+		shardCounts = append(shardCounts, 2)
 	}
 	for _, name := range scenario.Names() {
 		spec, err := scenario.Preset(name)
@@ -65,23 +70,28 @@ func TestScenariosSerialShardedBitIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, cells := range sizes {
-			cfg := scenarioQuickConfig(t, cells)
-			if _, err := scenario.Apply(&cfg, spec); err != nil {
-				t.Fatal(err)
-			}
-			serial := mustRun(t, cfg, 1)
-			if serial.Events == 0 {
-				t.Fatalf("%s on %d cells: degenerate run", name, cells)
-			}
-			if got := len(serial.PerCell); got != cells {
-				t.Fatalf("%s on %d cells: %d per-cell reports", name, cells, got)
-			}
-			for _, shards := range shardCounts {
-				sharded := mustRun(t, cfg, shards)
-				if !reflect.DeepEqual(sharded, serial) {
-					t.Errorf("%s on %d cells: sharded (%d shards) differs from serial engine", name, cells, shards)
+			t.Run(fmt.Sprintf("%s/%dcells", name, cells), func(t *testing.T) {
+				cfg := scenarioQuickConfig(t, cells)
+				if _, err := scenario.Apply(&cfg, spec); err != nil {
+					t.Fatal(err)
 				}
-			}
+				if spec.Mobility != nil && cfg.Mobility == nil {
+					t.Fatalf("%s: Apply did not install the mobility profile", name)
+				}
+				serial := mustRun(t, cfg, 1)
+				if serial.Events == 0 {
+					t.Fatalf("%s on %d cells: degenerate run", name, cells)
+				}
+				if got := len(serial.PerCell); got != cells {
+					t.Fatalf("%s on %d cells: %d per-cell reports", name, cells, got)
+				}
+				for _, shards := range shardCounts {
+					sharded := mustRun(t, cfg, shards)
+					if !reflect.DeepEqual(sharded, serial) {
+						t.Errorf("%s on %d cells: sharded (%d shards) differs from serial engine", name, cells, shards)
+					}
+				}
+			})
 		}
 	}
 }
@@ -114,6 +124,147 @@ func TestUniformScenarioReproducesBaseline(t *testing.T) {
 		if !reflect.DeepEqual(gotSharded, baseline) {
 			t.Errorf("%d cells: sharded uniform scenario perturbed the baseline results", cells)
 		}
+	}
+}
+
+// TestUniformMobilityReproducesBaseline pins the mobility regression
+// contract: a uniform mobility profile with multiplier 1.0 is the paper's
+// single dwell time per service, so installing it must not change a single
+// bit of the results relative to a run without any mobility profile — the
+// dwell sampler draws exactly the same variates (see cell.armDwell). Checked
+// on both engines and both cluster sizes.
+func TestUniformMobilityReproducesBaseline(t *testing.T) {
+	for _, cells := range []int{7, 19} {
+		if cells != 7 && testing.Short() {
+			continue
+		}
+		baseline := mustRun(t, scenarioQuickConfig(t, cells), 1)
+
+		withMobility := scenarioQuickConfig(t, cells)
+		mob := scenario.Mobility{Spatial: scenario.Spatial{Kind: scenario.Uniform}}
+		prof, err := mob.Compile(withMobility.Topology)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range prof.Weights() {
+			if w != 1 {
+				t.Fatalf("uniform mobility weight in cell %d is %v, want exactly 1", i, w)
+			}
+		}
+		withMobility.Mobility = prof
+		if got := mustRun(t, withMobility, 1); !reflect.DeepEqual(got, baseline) {
+			t.Errorf("%d cells: uniform mobility profile perturbed the baseline results", cells)
+		}
+		if got := mustRun(t, withMobility, 4); !reflect.DeepEqual(got, baseline) {
+			t.Errorf("%d cells: sharded uniform mobility perturbed the baseline results", cells)
+		}
+	}
+}
+
+// TestMobilityChangesSamplePath is the counterpart sanity check: a non-unit
+// mobility profile must actually change the draws (shorter corridor dwells),
+// and the changed sample path must still be engine-independent.
+func TestMobilityChangesSamplePath(t *testing.T) {
+	baseline := mustRun(t, scenarioQuickConfig(t, 7), 1)
+	cfg := scenarioQuickConfig(t, 7)
+	spec, err := scenario.Preset("highway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mob := *spec.Mobility
+	prof, err := mob.Compile(cfg.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mobility = prof
+	fast := mustRun(t, cfg, 1)
+	if reflect.DeepEqual(fast, baseline) {
+		t.Error("a 0.25x corridor dwell profile should change the sample path")
+	}
+	if fast.HandoversOut <= baseline.HandoversOut {
+		t.Errorf("faster mid-cell users should hand over more: %d vs baseline %d",
+			fast.HandoversOut, baseline.HandoversOut)
+	}
+	if sharded := mustRun(t, cfg, 3); !reflect.DeepEqual(sharded, fast) {
+		t.Error("mobility profile must stay engine-independent")
+	}
+}
+
+// TestHighwaySkewsHandoverFlow checks that the highway preset's mobility
+// shape shows up where it should: corridor cells emit outbound handovers at
+// a higher per-cell rate than off-corridor cells, against a load-only
+// control run (same corridor rates, uniform dwell) whose flow is nearly
+// flat by comparison.
+func TestHighwaySkewsHandoverFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("19-cell comparison runs skipped in -short mode")
+	}
+	spec, err := scenario.Preset("highway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenarioQuickConfig(t, 19)
+	cfg.MeasurementSec = 1500
+	if _, err := scenario.Apply(&cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, cfg, 4)
+
+	loadOnly := spec
+	loadOnly.Mobility = nil
+	ctrl := scenarioQuickConfig(t, 19)
+	ctrl.MeasurementSec = 1500
+	if _, err := scenario.Apply(&ctrl, loadOnly); err != nil {
+		t.Fatal(err)
+	}
+	base := mustRun(t, ctrl, 4)
+
+	dist := cfg.Topology.AxisDistances(spec.Spatial.Center, spec.Spatial.Axis)
+	outPerGroup := func(r sim.Results) (corridor, off float64) {
+		var nc, noff int
+		for i, m := range r.PerCell {
+			if dist[i] == 0 {
+				corridor += float64(m.HandoversOut)
+				nc++
+			} else {
+				off += float64(m.HandoversOut)
+				noff++
+			}
+		}
+		return corridor / float64(nc), off / float64(noff)
+	}
+	corridor, off := outPerGroup(res)
+	if corridor <= 1.5*off {
+		t.Errorf("corridor cells should hand over far more often: corridor %.1f, off-corridor %.1f", corridor, off)
+	}
+	baseCorridor, baseOff := outPerGroup(base)
+	if skew, baseSkew := corridor/off, baseCorridor/baseOff; skew <= baseSkew {
+		t.Errorf("mobility should amplify the flow skew beyond the load-only run: %.2f vs %.2f", skew, baseSkew)
+	}
+	for _, m := range res.PerCell {
+		if m.HandoversOut != m.VoiceHandoversOut+m.SessionHandoversOut {
+			t.Errorf("cell %d: outbound split %d+%d does not sum to %d",
+				m.Cell, m.VoiceHandoversOut, m.SessionHandoversOut, m.HandoversOut)
+		}
+	}
+}
+
+// TestMismatchedMobilityProfileRejected mirrors the rate-profile guard: a
+// mobility profile compiled for a smaller cluster than the configured
+// topology must be refused by both engines.
+func TestMismatchedMobilityProfileRejected(t *testing.T) {
+	mob := scenario.Mobility{Spatial: scenario.Spatial{Kind: scenario.Hotspot, Peak: 2, Decay: 1}}
+	prof, err := mob.Compile(cluster.NewHexCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenarioQuickConfig(t, 19)
+	cfg.Mobility = prof
+	if _, err := sim.New(cfg); err == nil {
+		t.Error("a 7-cell mobility profile on a 19-cell topology should be rejected")
+	}
+	if _, err := sim.NewSharded(cfg, sim.ShardedOptions{Shards: 2}); err == nil {
+		t.Error("the sharded engine should reject the mismatch too")
 	}
 }
 

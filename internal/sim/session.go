@@ -30,10 +30,11 @@ func (v *voiceCall) depart() {
 	v.handoverEv.Cancel()
 }
 
-// scheduleHandover arms the dwell-time timer of the call in its current cell.
+// scheduleHandover arms the dwell-time timer of the call in its current cell,
+// scaled by the cell's mobility profile (see cell.armDwell).
 func (v *voiceCall) scheduleHandover() {
-	dwell := v.cell.streams.handover.Exponential(v.cell.env.conf().GSMDwellTimeSec)
-	v.handoverEv = v.cell.schedule(dwell, v.handover)
+	c := v.cell
+	c.armDwell(c.env.conf().GSMDwellTimeSec, v.handover, func(ev *des.Event) { v.handoverEv = ev })
 }
 
 // handover moves the call towards a neighbouring cell: the call leaves this
@@ -47,6 +48,7 @@ func (v *voiceCall) handover() {
 		return
 	}
 	c.handoversOut++
+	c.voiceHandoversOut++
 	c.removeVoice()
 	v.departEv.Cancel()
 	c.env.dispatch(c, target, handoverMsg{kind: hoVoice, voice: voiceState{departAt: v.departAt}})
@@ -181,6 +183,7 @@ func (s *session) handover() {
 		return
 	}
 	c.handoversOut++
+	c.sessionHandoversOut++
 	st := s.captureState()
 	s.end()
 	c.env.dispatch(c, target, handoverMsg{kind: hoSession, sess: st})
@@ -204,10 +207,11 @@ func (s *session) captureState() sessionState {
 	return st
 }
 
-// scheduleHandover arms the dwell-time timer in the current cell.
+// scheduleHandover arms the dwell-time timer in the current cell, scaled by
+// the cell's mobility profile (see cell.armDwell).
 func (s *session) scheduleHandover() {
-	dwell := s.cell.streams.handover.Exponential(s.cfg().GPRSDwellTimeSec)
-	s.handoverEv = s.cell.schedule(dwell, s.handover)
+	c := s.cell
+	c.armDwell(s.cfg().GPRSDwellTimeSec, s.handover, func(ev *des.Event) { s.handoverEv = ev })
 }
 
 // connection is the TCP transfer of one packet call: a fixed-network sender

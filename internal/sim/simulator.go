@@ -120,12 +120,10 @@ func collectRun(e engineCore) (Results, error) {
 	// time-weighted statistics, never the event flow, so mid-cell results are
 	// unaffected by the extra bookkeeping.
 	perStart := make([]cellSnapshot, len(cells))
-	hoInStart := make([]int64, len(cells))
-	hoOutStart := make([]int64, len(cells))
+	hoStart := make([]hoSnapshot, len(cells))
 	for i, c := range cells {
 		perStart[i] = c.resetBatchWindow(warmupEnd)
-		hoInStart[i] = c.handoversIn
-		hoOutStart[i] = c.handoversOut
+		hoStart[i] = c.handoverSnapshot()
 	}
 	snap := perStart[cluster.MidCell]
 	warmStart := snap
@@ -146,15 +144,15 @@ func collectRun(e engineCore) (Results, error) {
 	res.PacketsOffered = final.offered - warmStart.offered
 	res.PacketsLost = final.lost - warmStart.lost
 	res.PacketsDelivered = final.delivered - warmStart.delivered
-	res.HandoversIn = mid.handoversIn - hoInStart[cluster.MidCell]
-	res.HandoversOut = mid.handoversOut - hoOutStart[cluster.MidCell]
+	res.HandoversIn = mid.handoversIn - hoStart[cluster.MidCell].in
+	res.HandoversOut = mid.handoversOut - hoStart[cluster.MidCell].out
 	for _, c := range cells {
 		res.TCPTimeouts += c.tcpTimeouts
 		res.TCPFastRecovers += c.tcpFastRecovers
 	}
 	res.SimulatedSec = cfg.MeasurementSec
 	res.Events = e.processedEvents()
-	res.PerCell = perCellMeasures(cells, acc, perStart, hoInStart, hoOutStart, end, cfg.MeasurementSec)
+	res.PerCell = perCellMeasures(cells, acc, perStart, hoStart, end, cfg.MeasurementSec)
 	return res, nil
 }
 
@@ -165,7 +163,7 @@ func collectRun(e engineCore) (Results, error) {
 // from the batch accumulator — the mean over equal-length batches equals the
 // whole-window average.
 func perCellMeasures(cells []*cell, acc *batchAccumulator, perStart []cellSnapshot,
-	hoInStart, hoOutStart []int64, end, measurementSec float64) []CellMeasures {
+	hoStart []hoSnapshot, end, measurementSec float64) []CellMeasures {
 	out := make([]CellMeasures, len(cells))
 	for i, c := range cells {
 		cur := c.snapshot()
@@ -184,8 +182,13 @@ func perCellMeasures(cells []*cell, acc *batchAccumulator, perStart []cellSnapsh
 		m.PacketsOffered = cur.offered - perStart[i].offered
 		m.PacketsLost = cur.lost - perStart[i].lost
 		m.PacketsDelivered = cur.delivered - perStart[i].delivered
-		m.HandoversIn = c.handoversIn - hoInStart[i]
-		m.HandoversOut = c.handoversOut - hoOutStart[i]
+		ho := c.handoverSnapshot()
+		m.HandoversIn = ho.in - hoStart[i].in
+		m.HandoversOut = ho.out - hoStart[i].out
+		m.VoiceHandoversOut = ho.voiceOut - hoStart[i].voiceOut
+		m.SessionHandoversOut = ho.sessOut - hoStart[i].sessOut
+		m.HandoverArrivals = ho.arrivals - hoStart[i].arrivals
+		m.HandoverFailures = ho.failures - hoStart[i].failures
 		if m.PacketsOffered > 0 {
 			m.PacketLossProbability = float64(m.PacketsLost) / float64(m.PacketsOffered)
 		}
