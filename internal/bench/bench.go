@@ -1,0 +1,276 @@
+// Package bench defines the schema-versioned benchmark trajectory of the
+// repository: every performance run of cmd/gprs-bench emits one
+// BENCH_<date>.json report (events/sec, ns/event, allocs/event, B/event per
+// pinned workload, plus host metadata), and the committed reports under
+// benchdata/ form the trajectory future runs are gated against. The package
+// holds the report types, the encoding, and the tolerance-gated comparison;
+// the harness that produces the numbers lives in cmd/gprs-bench.
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the current report schema. Decode rejects reports written
+// under a different version, so a schema change forces an explicit migration
+// of the committed trajectory instead of silently misreading old points.
+const SchemaVersion = 1
+
+// ErrSchema is returned for reports that do not match the current schema.
+var ErrSchema = errors.New("bench: incompatible report schema")
+
+// Host identifies the machine a report was produced on. Comparisons gate
+// only against baselines from an equal Host — numbers from a different
+// machine class are advisory, never a CI failure.
+type Host struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentHost describes the running machine.
+func CurrentHost() Host {
+	return Host{
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// Result is the measurement of one pinned workload.
+type Result struct {
+	// Name identifies the workload (e.g. "serial/base-7cell").
+	Name string `json:"name"`
+	// Events is the number of simulation events the measured runs executed.
+	Events uint64 `json:"events"`
+	// WallSec is the wall-clock time of the measured runs.
+	WallSec float64 `json:"wall_sec"`
+	// EventsPerSec is the primary throughput metric the trajectory gates on.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// NsPerEvent is the inverse view: wall nanoseconds per event.
+	NsPerEvent float64 `json:"ns_per_event"`
+	// AllocsPerEvent and BytesPerEvent are heap allocation counts and bytes
+	// per event over the measured runs (runtime.MemStats deltas).
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// Report is one point of the benchmark trajectory.
+type Report struct {
+	SchemaVersion int `json:"schema_version"`
+	// Date is the ISO day (YYYY-MM-DD) the report was produced.
+	Date string `json:"date"`
+	// Quick marks reduced-fidelity runs (cmd/gprs-bench -quick, the CI
+	// setting). Quick and full reports are never compared against each
+	// other.
+	Quick   bool     `json:"quick,omitempty"`
+	Host    Host     `json:"host"`
+	Results []Result `json:"results"`
+}
+
+// Filename returns the canonical trajectory filename of the report. Quick
+// reports carry a fidelity suffix so a full and a quick point from the same
+// day coexist in one trajectory directory.
+func (r Report) Filename() string {
+	if r.Quick {
+		return "BENCH_" + r.Date + "-quick.json"
+	}
+	return "BENCH_" + r.Date + ".json"
+}
+
+// Encode renders the report as indented JSON.
+func Encode(r Report) ([]byte, error) {
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrSchema, r.SchemaVersion, SchemaVersion)
+	}
+	if r.Date == "" {
+		return nil, fmt.Errorf("%w: missing date", ErrSchema)
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a report and validates its schema version.
+func Decode(data []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: malformed report: %w", err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return Report{}, fmt.Errorf("%w: version %d, want %d", ErrSchema, r.SchemaVersion, SchemaVersion)
+	}
+	return r, nil
+}
+
+// WriteFile writes the report into dir under its canonical filename,
+// creating dir if needed, and returns the full path.
+func WriteFile(dir string, r Report) (string, error) {
+	data, err := Encode(r)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.Filename())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadDir reads every BENCH_*.json report in dir, sorted by filename (the
+// date-stamped names make that chronological order). A missing directory is
+// an empty trajectory, not an error.
+func LoadDir(dir string) ([]Report, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, "BENCH_") && strings.HasSuffix(n, ".json") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	reports := make([]Report, 0, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		r, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// LatestBaseline picks the newest report of the trajectory to compare a
+// fresh run against, preferring the newest report from an equal host (and
+// the same quick/full fidelity). The boolean reports whether the returned
+// baseline is host-matched — only then may a comparison gate (fail CI); a
+// cross-host baseline is advisory. It returns nil when the trajectory has no
+// report of the right fidelity at all.
+func LatestBaseline(reports []Report, host Host, quick bool) (*Report, bool) {
+	var fallback *Report
+	for i := len(reports) - 1; i >= 0; i-- {
+		r := reports[i]
+		if r.Quick != quick {
+			continue
+		}
+		if r.Host == host {
+			return &reports[i], true
+		}
+		if fallback == nil {
+			fallback = &reports[i]
+		}
+	}
+	return fallback, false
+}
+
+// Status classifies one benchmark's movement against the baseline.
+type Status string
+
+const (
+	// StatusNew marks a benchmark with no baseline measurement.
+	StatusNew Status = "new"
+	// StatusOK marks a benchmark within tolerance of its baseline (or
+	// improved).
+	StatusOK Status = "ok"
+	// StatusRegression marks a gated throughput regression beyond the
+	// tolerance: the comparison fails.
+	StatusRegression Status = "regression"
+	// StatusAdvisory marks a beyond-tolerance slowdown against a baseline
+	// from a different host: reported, never failing.
+	StatusAdvisory Status = "advisory"
+)
+
+// Delta is the comparison of one benchmark against the baseline.
+type Delta struct {
+	Name     string
+	Baseline float64 // baseline events/sec (0 when StatusNew)
+	Current  float64 // current events/sec
+	// Change is the relative throughput change: (current-baseline)/baseline.
+	// Negative is a slowdown. 0 when StatusNew.
+	Change float64
+	Status Status
+}
+
+// String renders the delta as one aligned report line.
+func (d Delta) String() string {
+	if d.Status == StatusNew {
+		return fmt.Sprintf("%-28s %12.0f ev/s  (new benchmark, no baseline)", d.Name, d.Current)
+	}
+	return fmt.Sprintf("%-28s %12.0f ev/s  %+6.1f%% vs %.0f  [%s]",
+		d.Name, d.Current, 100*d.Change, d.Baseline, d.Status)
+}
+
+// Comparison is the outcome of gating a report against a baseline.
+type Comparison struct {
+	// Gated reports whether the baseline was host-matched (regressions fail)
+	// or cross-host (everything is advisory).
+	Gated  bool
+	Deltas []Delta
+}
+
+// Failed reports whether any benchmark regressed beyond the tolerance on a
+// gated comparison.
+func (c Comparison) Failed() bool {
+	for _, d := range c.Deltas {
+		if d.Status == StatusRegression {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare gates the current report against the baseline with the given
+// relative events/sec tolerance (e.g. 0.15 fails a >15% throughput drop). A
+// nil baseline marks every benchmark StatusNew. gated selects whether
+// beyond-tolerance slowdowns fail (host-matched baseline) or stay advisory
+// (cross-host baseline) — pass the boolean LatestBaseline returned.
+func Compare(baseline *Report, current Report, tolerance float64, gated bool) Comparison {
+	cmp := Comparison{Gated: gated && baseline != nil}
+	base := map[string]Result{}
+	if baseline != nil {
+		for _, r := range baseline.Results {
+			base[r.Name] = r
+		}
+	}
+	for _, cur := range current.Results {
+		d := Delta{Name: cur.Name, Current: cur.EventsPerSec, Status: StatusNew}
+		if b, ok := base[cur.Name]; ok && b.EventsPerSec > 0 {
+			d.Baseline = b.EventsPerSec
+			d.Change = (cur.EventsPerSec - b.EventsPerSec) / b.EventsPerSec
+			switch {
+			case d.Change >= -tolerance:
+				d.Status = StatusOK
+			case cmp.Gated:
+				d.Status = StatusRegression
+			default:
+				d.Status = StatusAdvisory
+			}
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	return cmp
+}

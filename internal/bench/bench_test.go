@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleReport(date string, eps float64) Report {
+	return Report{
+		SchemaVersion: SchemaVersion,
+		Date:          date,
+		Host:          Host{OS: "linux", Arch: "amd64", CPUs: 8, GoVersion: "go1.24"},
+		Results: []Result{
+			{Name: "serial/base-7cell", Events: 1000000, WallSec: 1.25,
+				EventsPerSec: eps, NsPerEvent: 1e9 / eps, AllocsPerEvent: 0.0001, BytesPerEvent: 0.01},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleReport("2026-08-08", 800000)
+	want.Quick = true
+	data, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"encode wrong version", func() error {
+			r := sampleReport("2026-08-08", 1)
+			r.SchemaVersion = 99
+			_, err := Encode(r)
+			return err
+		}},
+		{"encode missing date", func() error {
+			r := sampleReport("", 1)
+			_, err := Encode(r)
+			return err
+		}},
+		{"decode wrong version", func() error {
+			_, err := Decode([]byte(`{"schema_version": 2, "date": "2026-01-01"}`))
+			return err
+		}},
+		{"decode zero version", func() error {
+			_, err := Decode([]byte(`{"date": "2026-01-01"}`))
+			return err
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.run(); !errors.Is(err, ErrSchema) {
+				t.Errorf("want ErrSchema, got %v", err)
+			}
+		})
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestWriteLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	// Empty or missing directories are empty trajectories.
+	if rs, err := LoadDir(filepath.Join(dir, "missing")); err != nil || len(rs) != 0 {
+		t.Fatalf("missing dir: %v, %v", rs, err)
+	}
+	r1 := sampleReport("2026-08-01", 700000)
+	r2 := sampleReport("2026-08-08", 750000)
+	// A quick report from the same day gets a fidelity-suffixed filename, so
+	// both points coexist in the trajectory.
+	r3 := sampleReport("2026-08-08", 650000)
+	r3.Quick = true
+	if r3.Filename() == r2.Filename() {
+		t.Fatal("quick and full reports from the same day must not collide")
+	}
+	// Write out of order; LoadDir must return chronological order.
+	for _, r := range []Report{r2, r1, r3} {
+		if _, err := WriteFile(dir, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unrelated files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Date != "2026-08-01" || !got[1].Quick || got[2].Quick {
+		t.Fatalf("trajectory order wrong: %+v", got)
+	}
+	// A corrupt trajectory point is an error, not a silent skip.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2026-08-09.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("corrupt report should fail LoadDir")
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	host := Host{OS: "linux", Arch: "amd64", CPUs: 8, GoVersion: "go1.24"}
+	other := Host{OS: "linux", Arch: "arm64", CPUs: 4, GoVersion: "go1.24"}
+	mk := func(date string, h Host, quick bool) Report {
+		r := sampleReport(date, 1)
+		r.Host = h
+		r.Quick = quick
+		return r
+	}
+	cases := []struct {
+		name       string
+		trajectory []Report
+		quick      bool
+		wantDate   string
+		wantGated  bool
+	}{
+		{"empty trajectory", nil, false, "", false},
+		{"host match picks newest matching", []Report{
+			mk("2026-01-01", host, false), mk("2026-02-01", other, false), mk("2026-01-15", host, false),
+		}, false, "2026-01-15", true},
+		{"no host match falls back to newest, ungated", []Report{
+			mk("2026-01-01", other, false), mk("2026-02-01", other, false),
+		}, false, "2026-02-01", false},
+		{"fidelity never mixes", []Report{
+			mk("2026-01-01", host, false),
+		}, true, "", false},
+		{"quick matches quick", []Report{
+			mk("2026-01-01", host, false), mk("2026-01-02", host, true),
+		}, true, "2026-01-02", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base, gated := LatestBaseline(c.trajectory, host, c.quick)
+			if c.wantDate == "" {
+				if base != nil {
+					t.Fatalf("want no baseline, got %+v", base)
+				}
+				return
+			}
+			if base == nil || base.Date != c.wantDate || gated != c.wantGated {
+				t.Errorf("got (%+v, %v), want date %s gated %v", base, gated, c.wantDate, c.wantGated)
+			}
+		})
+	}
+}
+
+func TestCompareToleranceGate(t *testing.T) {
+	base := sampleReport("2026-08-01", 1000000)
+	mkCur := func(eps float64, extra ...Result) Report {
+		r := sampleReport("2026-08-08", eps)
+		r.Results = append(r.Results, extra...)
+		return r
+	}
+	cases := []struct {
+		name       string
+		baseline   *Report
+		current    Report
+		gated      bool
+		wantStatus []Status
+		wantFailed bool
+	}{
+		{"missing baseline: everything new, no gate",
+			nil, mkCur(10), true, []Status{StatusNew}, false},
+		{"new benchmark alongside known one",
+			&base, mkCur(990000, Result{Name: "sharded4/hotspot-19cell", EventsPerSec: 5}),
+			true, []Status{StatusOK, StatusNew}, false},
+		{"within tolerance",
+			&base, mkCur(900000), true, []Status{StatusOK}, false},
+		{"improvement",
+			&base, mkCur(1500000), true, []Status{StatusOK}, false},
+		{"regression beyond tolerance fails",
+			&base, mkCur(800000), true, []Status{StatusRegression}, true},
+		{"exactly at tolerance passes",
+			&base, mkCur(850000), true, []Status{StatusOK}, false},
+		{"cross-host regression is advisory",
+			&base, mkCur(500000), false, []Status{StatusAdvisory}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmp := Compare(c.baseline, c.current, 0.15, c.gated)
+			if len(cmp.Deltas) != len(c.wantStatus) {
+				t.Fatalf("got %d deltas, want %d", len(cmp.Deltas), len(c.wantStatus))
+			}
+			for i, want := range c.wantStatus {
+				if cmp.Deltas[i].Status != want {
+					t.Errorf("delta %d (%s): status %s, want %s",
+						i, cmp.Deltas[i].Name, cmp.Deltas[i].Status, want)
+				}
+			}
+			if cmp.Failed() != c.wantFailed {
+				t.Errorf("Failed() = %v, want %v", cmp.Failed(), c.wantFailed)
+			}
+		})
+	}
+}

@@ -96,11 +96,14 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Cancelling nil or already-cancelled events must not panic.
-	var nilEv *Event
-	nilEv.Cancel()
-	if nilEv.Canceled() {
-		t.Error("nil event reports cancelled")
+	// Cancelling the zero Handle or an already-cancelled event must not panic.
+	var zero Handle
+	zero.Cancel()
+	if zero.Canceled() {
+		t.Error("zero handle reports cancelled")
+	}
+	if !math.IsNaN(zero.Time()) {
+		t.Error("zero handle should have NaN time")
 	}
 	ev.Cancel()
 }

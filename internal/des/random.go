@@ -59,6 +59,11 @@ const (
 type Stream struct {
 	rng  *rand.Rand
 	kind StreamKind
+
+	// Unit-exponential batch buffer (see BatchExponentials). expBuf[expPos:]
+	// holds pre-drawn unit exponentials; a nil buffer means unbatched draws.
+	expBuf []float64
+	expPos int
 }
 
 // NewStream returns a stream seeded deterministically, with the historic
@@ -108,23 +113,71 @@ func (s *Stream) UniformRange(lo, hi float64) float64 {
 	return lo + (hi-lo)*s.Uniform()
 }
 
-// Exponential returns an exponentially distributed variate with the given
-// mean. A non-positive mean yields 0. Default streams use the generator's
-// ziggurat algorithm; paired/antithetic streams invert the distribution
-// function of a single uniform draw (-mean * ln(1-u)), which is monotone in
-// the draw — the property antithetic pairing relies on.
-func (s *Stream) Exponential(mean float64) float64 {
-	if mean <= 0 {
-		return 0
+// BatchExponentials pre-draws unit exponential variates in blocks of n
+// (clamped to at least 2), amortizing the per-variate generator dispatch on
+// exponential-only streams. Because the mean is applied at consumption time,
+// batching is exact even when the mean changes between draws (time-varying
+// rate profiles): the j-th Exponential call returns bit-identically the same
+// value as on an unbatched stream.
+//
+// Batching is only valid for streams whose every variate is drawn through
+// Exponential (in internal/sim, the arrival and call-duration streams).
+// Enabling it on a stream that also serves Uniform, Geometric, Intn, or
+// Bernoulli reorders the underlying uniform draws and breaks reproducibility
+// against unbatched runs. n <= 0 disables batching; any buffered draws are
+// consumed first, preserving the sequence.
+func (s *Stream) BatchExponentials(n int) {
+	if n <= 0 {
+		return
 	}
+	if n < 2 {
+		n = 2
+	}
+	if cap(s.expBuf) < n {
+		buf := make([]float64, 0, n)
+		buf = append(buf, s.expBuf[s.expPos:]...)
+		s.expBuf = buf
+		s.expPos = 0
+	}
+}
+
+// unitExp draws one unit-mean exponential variate: the generator's ziggurat
+// on default streams, single-draw inversion on paired/antithetic streams.
+func (s *Stream) unitExp() float64 {
 	if s.kind == StreamDefault {
-		return s.rng.ExpFloat64() * mean
+		return s.rng.ExpFloat64()
 	}
 	v := 1 - s.u01()
 	if v <= 0 {
 		v = tiny
 	}
-	return -mean * math.Log(v)
+	return -math.Log(v)
+}
+
+// Exponential returns an exponentially distributed variate with the given
+// mean. A non-positive mean yields 0. Default streams use the generator's
+// ziggurat algorithm; paired/antithetic streams invert the distribution
+// function of a single uniform draw (-mean * ln(1-u)), which is monotone in
+// the draw — the property antithetic pairing relies on. On a batched stream
+// (BatchExponentials) the unit variate comes from the pre-drawn block; the
+// value sequence is identical either way.
+func (s *Stream) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if s.expBuf == nil {
+		return s.unitExp() * mean
+	}
+	if s.expPos == len(s.expBuf) {
+		s.expBuf = s.expBuf[:cap(s.expBuf)]
+		for i := range s.expBuf {
+			s.expBuf[i] = s.unitExp()
+		}
+		s.expPos = 0
+	}
+	v := s.expBuf[s.expPos]
+	s.expPos++
+	return v * mean
 }
 
 // Geometric returns a geometrically distributed variate on {1, 2, ...} with

@@ -1,0 +1,63 @@
+package des
+
+import "testing"
+
+// TestBatchExponentialsIdentity pins the batching contract: for every stream
+// kind, a batched stream returns bit-identically the same exponential variate
+// sequence as an unbatched stream with the same seed — including when the
+// mean changes between draws (time-varying rate profiles) and when batching
+// is enabled mid-stream or re-enabled with a different block size.
+func TestBatchExponentialsIdentity(t *testing.T) {
+	means := []float64{1, 0.25, 120, 1e-3, 60, 2}
+	for _, kind := range []StreamKind{StreamDefault, StreamPaired, StreamAntithetic} {
+		plain := NewStreamKind(11, kind)
+		batched := NewStreamKind(11, kind)
+		batched.BatchExponentials(7)
+		for i := 0; i < 500; i++ {
+			mean := means[i%len(means)]
+			a, b := plain.Exponential(mean), batched.Exponential(mean)
+			if a != b {
+				t.Fatalf("kind %d draw %d: unbatched %v, batched %v", kind, i, a, b)
+			}
+		}
+
+		// Enabling batching mid-stream must not skip or reorder draws.
+		mid := NewStreamKind(11, kind)
+		ref := NewStreamKind(11, kind)
+		for i := 0; i < 10; i++ {
+			if mid.Exponential(3) != ref.Exponential(3) {
+				t.Fatalf("kind %d: prefix diverged", kind)
+			}
+		}
+		mid.BatchExponentials(16)
+		for i := 0; i < 100; i++ {
+			if a, b := mid.Exponential(5), ref.Exponential(5); a != b {
+				t.Fatalf("kind %d mid-enable draw %d: %v != %v", kind, i, a, b)
+			}
+		}
+		// Re-enabling with a larger block preserves buffered draws.
+		mid.BatchExponentials(64)
+		for i := 0; i < 100; i++ {
+			if a, b := mid.Exponential(0.5), ref.Exponential(0.5); a != b {
+				t.Fatalf("kind %d re-enable draw %d: %v != %v", kind, i, a, b)
+			}
+		}
+	}
+}
+
+// TestBatchExponentialsAllocFree pins that steady-state batched draws do not
+// allocate (the buffer is refilled in place).
+func TestBatchExponentialsAllocFree(t *testing.T) {
+	s := NewStream(5)
+	s.BatchExponentials(32)
+	for i := 0; i < 64; i++ {
+		s.Exponential(1) // warm up: buffer allocated and refilled once
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 33; i++ { // crosses at least one refill boundary
+			s.Exponential(2)
+		}
+	}); avg > 0 {
+		t.Errorf("batched Exponential allocated %.2f per 33 draws, want 0", avg)
+	}
+}

@@ -51,7 +51,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 )
 
 // ErrInvalidEngine is returned for malformed engine configurations.
@@ -178,12 +178,15 @@ func (e *Engine) AdvanceTo(t float64) error {
 
 func (e *Engine) advanceSerial(t float64) {
 	out := make([][]Message, 1)
+	// One persistent window buffer: the barrier copies messages into its own
+	// merge buffer before the next window reuses this one.
+	var msgs []Message
 	for e.now < t && e.err == nil {
 		next := math.Min(e.now+e.opt.Lookahead, t)
 		if e.opt.Limiter != nil {
 			e.opt.Limiter.Acquire()
 		}
-		var msgs []Message
+		msgs = msgs[:0]
 		for _, p := range e.procs {
 			msgs = append(msgs, p.Advance(next)...)
 		}
@@ -206,11 +209,15 @@ func (e *Engine) advanceParallel(t float64) {
 	for i, group := range e.groups {
 		cmds[i] = make(chan float64, 1)
 		go func(shard int, group []int, cmd <-chan float64) {
+			// One persistent buffer per shard worker: the barrier finishes
+			// with it (copies into the merge buffer) before the main loop
+			// dispatches the next window command.
+			var msgs []Message
 			for next := range cmd {
 				if e.opt.Limiter != nil {
 					e.opt.Limiter.Acquire()
 				}
-				var msgs []Message
+				msgs = msgs[:0]
 				for _, pi := range group {
 					msgs = append(msgs, e.procs[pi].Advance(next)...)
 				}
@@ -248,15 +255,26 @@ func (e *Engine) barrier(windowEnd float64, out [][]Message) {
 	for _, msgs := range out {
 		e.merged = append(e.merged, msgs...)
 	}
-	sort.Slice(e.merged, func(i, j int) bool {
-		a, b := e.merged[i], e.merged[j]
+	// slices.SortFunc rather than sort.Slice: the latter goes through
+	// reflection and allocates per call, which would put the barrier on the
+	// allocator once per window.
+	slices.SortFunc(e.merged, func(a, b Message) int {
 		if a.At != b.At {
-			return a.At < b.At
+			if a.At < b.At {
+				return -1
+			}
+			return 1
 		}
 		if a.Src != b.Src {
-			return a.Src < b.Src
+			return a.Src - b.Src
 		}
-		return a.Seq < b.Seq
+		if a.Seq != b.Seq {
+			if a.Seq < b.Seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	for _, m := range e.merged {
 		// Equality is allowed: a sender one ulp past the window start can

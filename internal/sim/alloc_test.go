@@ -1,0 +1,115 @@
+// Allocation-budget pins for the steady-state event hot path. The tests are
+// excluded from race builds: race instrumentation inserts allocations of its
+// own, which would fail the budgets spuriously.
+//
+//go:build !race
+
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/traffic"
+)
+
+// allocPinConfig is the steady-state workload of the allocation pins: the
+// open-loop traffic model (EnableTCP=false — the TCP path is deliberately
+// exempt from the allocation-free contract, see connection), uniform constant
+// load, no time-varying profiles.
+func allocPinConfig(cells int) Config {
+	topo, err := cluster.Preset(cells)
+	if err != nil {
+		panic(err)
+	}
+	cfg := DefaultConfig(traffic.Model3, 0.5)
+	cfg.Topology = topo
+	cfg.Channels.TotalChannels = 10
+	cfg.BufferSize = 30
+	cfg.MaxSessions = 10
+	cfg.EnableTCP = false
+	cfg.Seed = 7
+	return cfg
+}
+
+// measureAllocsPerEvent advances the engine repeatedly by the given window
+// and reports (allocations per event, events per window). The first advance
+// inside AllocsPerRun is a warm-up run, which tops the freelists up to the
+// steady-state population before measurement starts.
+func measureAllocsPerEvent(t *testing.T, advance func(to float64), processed func() uint64,
+	start, window float64) (float64, float64) {
+	t.Helper()
+	const runs = 5
+	now := start
+	before := processed()
+	perRun := testing.AllocsPerRun(runs, func() {
+		now += window
+		advance(now)
+	})
+	events := processed() - before
+	if events == 0 {
+		t.Fatal("degenerate steady state: no events processed")
+	}
+	eventsPerRun := float64(events) / (runs + 1) // AllocsPerRun adds one warm-up run
+	return perRun / eventsPerRun, eventsPerRun
+}
+
+// TestSerialSteadyStateAllocs pins the tentpole contract on the serial
+// engine: after warm-up, the event hot path performs (essentially) zero
+// allocations per event. The epsilon tolerates freelist growth at new
+// concurrent-population peaks — O(peak), not O(events).
+func TestSerialSteadyStateAllocs(t *testing.T) {
+	s, err := New(allocPinConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.cells {
+		c.start()
+	}
+	s.eng.RunUntil(2000) // reach steady state, grow every pool to its peak
+	perEvent, eventsPerRun := measureAllocsPerEvent(t,
+		func(to float64) { s.eng.RunUntil(to) },
+		s.eng.ProcessedEvents, 2000, 500)
+	if eventsPerRun < 1000 {
+		t.Fatalf("only %.0f events per window; the pin would be vacuous", eventsPerRun)
+	}
+	if perEvent > 0.001 {
+		t.Errorf("serial hot path allocates %.5f allocs/event (%.0f events/window), want 0",
+			perEvent, eventsPerRun)
+	}
+}
+
+// TestShardedSteadyStateAllocs pins the same contract on the sharded engine.
+// Shards=1 exercises the full sharded machinery — conservative windows,
+// outbox buffering, barrier merge, pooled transit records — on the calling
+// goroutine, where the budget is exact; the 4-shard layout adds the worker
+// fan-out, whose per-AdvanceTo setup (channels, goroutines) is amortized over
+// the thousands of events each advance processes.
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s, err := NewSharded(allocPinConfig(7), ShardedOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range s.cells {
+			c.start()
+		}
+		if err := s.engine.AdvanceTo(2000); err != nil {
+			t.Fatal(err)
+		}
+		perEvent, eventsPerRun := measureAllocsPerEvent(t,
+			func(to float64) {
+				if err := s.engine.AdvanceTo(to); err != nil {
+					t.Fatal(err)
+				}
+			},
+			s.processedEvents, 2000, 500)
+		if eventsPerRun < 1000 {
+			t.Fatalf("%d shards: only %.0f events per window; the pin would be vacuous", shards, eventsPerRun)
+		}
+		if perEvent > 0.001 {
+			t.Errorf("%d shards: sharded hot path allocates %.5f allocs/event (%.0f events/window), want 0",
+				shards, perEvent, eventsPerRun)
+		}
+	}
+}

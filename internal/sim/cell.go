@@ -16,6 +16,12 @@ const blockPeriodSec = 0.02
 // from the base seed (arrival, duration, traffic, handover).
 const streamsPerCell = 4
 
+// expBatch is the block size of the pre-drawn unit-exponential buffers on the
+// exponential-only streams (arrival gaps, call durations). See
+// des.Stream.BatchExponentials: batching amortizes generator dispatch without
+// changing a single variate.
+const expBatch = 64
+
 // cellStreams groups the per-cell random variate streams. Every cell draws
 // its arrivals, call durations, traffic variates, and handover decisions from
 // its own streams, so a cell's sample path does not depend on how events of
@@ -34,12 +40,17 @@ type cellStreams struct {
 // which nearby base seeds aliased each other's streams. kind selects the draw
 // behaviour of every stream: des.StreamDefault for the historic variates, or
 // the paired/antithetic inversion modes the replication runner uses for
-// antithetic-variate pairs (see Config.Streams).
+// antithetic-variate pairs (see Config.Streams). The arrival and duration
+// streams serve exponential variates exclusively, so they run batched; the
+// traffic and handover streams interleave distributions and must not.
 func newCellStreams(seed int64, cellID int, kind des.StreamKind) cellStreams {
 	sub := func(k uint64) *des.Stream {
 		return des.NewStreamKind(des.SubstreamSeed(seed, uint64(cellID)*streamsPerCell+k), kind)
 	}
-	return cellStreams{arrival: sub(0), duration: sub(1), traffic: sub(2), handover: sub(3)}
+	s := cellStreams{arrival: sub(0), duration: sub(1), traffic: sub(2), handover: sub(3)}
+	s.arrival.BatchExponentials(expBatch)
+	s.duration.BatchExponentials(expBatch)
+	return s
 }
 
 // cellEnv is the engine-side contract of a cell: the shared configuration and
@@ -109,6 +120,14 @@ type handoverMsg struct {
 // streams. In the serial engine all cells share one calendar; in the sharded
 // engine each cell owns one, and cells interact only through handover
 // messages.
+//
+// The steady-state event path of a cell is allocation-free: completed voice
+// calls, sessions, and packets are recycled through per-cell freelists
+// (reset on reuse), and every closure the hot path schedules is bound once —
+// at cell construction or at record first-allocation — never per event.
+// Allocation happens only while a freelist grows towards the cell's peak
+// concurrent population, and at rate/mobility profile boundaries (O(number
+// of boundaries), not O(events)).
 type cell struct {
 	id      int
 	env     cellEnv
@@ -120,6 +139,20 @@ type cell struct {
 	buffer     []*packet
 
 	tickScheduled bool
+
+	// Prebound hot-path closures (one allocation each, at construction).
+	radioTickFn func()
+	armVoiceFn  func() // re-arm the voice arrival process
+	armDataFn   func() // re-arm the data arrival process
+	fireVoiceFn func() // handle a voice arrival, then re-arm
+	fireDataFn  func() // handle a data arrival, then re-arm
+
+	// Freelists recycling the model records of this cell. Records carry
+	// their own prebound action closures, created once when the record is
+	// first allocated and kept across reuses.
+	freeVoice []*voiceCall
+	freeSess  []*session
+	freePkt   []*packet
 
 	// Mid-cell measurement state (allocated for every cell, but only the mid
 	// cell's numbers are reported).
@@ -157,22 +190,106 @@ type cell struct {
 }
 
 func newCell(id int, env cellEnv, eng *des.Simulation, seed int64, kind des.StreamKind) *cell {
-	return &cell{id: id, env: env, eng: eng, streams: newCellStreams(seed, id, kind)}
+	c := &cell{id: id, env: env, eng: eng, streams: newCellStreams(seed, id, kind)}
+	c.radioTickFn = c.radioTick
+	c.armVoiceFn = func() { c.armArrival(true) }
+	c.armDataFn = func() { c.armArrival(false) }
+	c.fireVoiceFn = func() { c.gsmArrival(); c.armArrival(true) }
+	c.fireDataFn = func() { c.gprsArrival(); c.armArrival(false) }
+	return c
+}
+
+// getVoice takes a voice-call record off the cell's freelist, or allocates
+// one with its action closures bound. Records come back from putVoice fully
+// reset.
+func (c *cell) getVoice() *voiceCall {
+	if n := len(c.freeVoice); n > 0 {
+		v := c.freeVoice[n-1]
+		c.freeVoice[n-1] = nil
+		c.freeVoice = c.freeVoice[:n-1]
+		return v
+	}
+	v := &voiceCall{cell: c}
+	v.departFn = v.depart
+	v.handoverFn = v.handover
+	v.setHandoverEv = func(ev des.Handle) { v.handoverEv = ev }
+	return v
+}
+
+// putVoice resets a finished voice-call record and recycles it. Both event
+// handles must already be fired or cancelled.
+func (c *cell) putVoice(v *voiceCall) {
+	v.departAt = 0
+	v.departEv = des.Handle{}
+	v.handoverEv = des.Handle{}
+	c.freeVoice = append(c.freeVoice, v)
+}
+
+// getSession takes a session record off the cell's freelist, or allocates
+// one with its action closures bound. Records come back from putSession
+// fully reset.
+func (c *cell) getSession() *session {
+	if n := len(c.freeSess); n > 0 {
+		s := c.freeSess[n-1]
+		c.freeSess[n-1] = nil
+		c.freeSess = c.freeSess[:n-1]
+		return s
+	}
+	s := &session{cell: c}
+	s.startPacketCallFn = s.startPacketCall
+	s.generatePacketFn = s.generatePacket
+	s.handoverFn = s.handover
+	s.setHandoverEv = func(ev des.Handle) { s.handoverEv = ev }
+	return s
+}
+
+// putSession resets a terminated session record and recycles it. The
+// session's pending events must already be cancelled and its TCP connection
+// aborted (session.end does both).
+func (c *cell) putSession(s *session) {
+	s.active = false
+	s.packetCallsLeft = 0
+	s.conn = nil
+	s.packetsLeftInCall = 0
+	s.genEv = des.Handle{}
+	s.handoverEv = des.Handle{}
+	c.freeSess = append(c.freeSess, s)
+}
+
+// getPacket takes a packet record off the cell's freelist, or allocates one.
+// Records come back from putPacket fully reset.
+func (c *cell) getPacket() *packet {
+	if n := len(c.freePkt); n > 0 {
+		p := c.freePkt[n-1]
+		c.freePkt[n-1] = nil
+		c.freePkt = c.freePkt[:n-1]
+		return p
+	}
+	return &packet{}
+}
+
+// putPacket resets a delivered or dropped packet record and recycles it.
+func (c *cell) putPacket(p *packet) {
+	p.conn = nil
+	p.seq = 0
+	p.enqueuedAt = 0
+	p.blocksLeft = 0
+	c.freePkt = append(c.freePkt, p)
 }
 
 func (c *cell) now() float64 { return c.eng.Now() }
 
 // schedule registers an action after the given delay on the cell's calendar
 // and returns its event handle. Delays are always non-negative in this
-// package, so scheduling cannot fail; a nil handle is returned only for a nil
-// action.
-func (c *cell) schedule(delay float64, action func()) *des.Event {
+// package, so scheduling cannot fail; a zero handle is returned only for a
+// nil action.
+func (c *cell) schedule(delay float64, action func()) des.Handle {
 	if delay < 0 {
 		delay = 0
 	}
 	ev, err := c.eng.ScheduleAfter(delay, action)
 	if err != nil {
-		return nil
+		return des.Handle{}
 	}
 	return ev
 }
@@ -193,15 +310,17 @@ func (c *cell) start() {
 // constant profile the boundary is +Inf, so the code draws exactly one
 // variate per arrival, reproducing the fixed-rate arrival stream bit for bit.
 // All decisions depend only on the cell's own stream and the (pure) profile,
-// which keeps the serial and sharded engines bit-identical.
+// which keeps the serial and sharded engines bit-identical. The scheduled
+// actions are the cell's prebound closures, so arming allocates nothing.
 func (c *cell) armArrival(voice bool) {
 	prof := c.env.conf().Rates
 	now := c.now()
 	rate, dataRate := prof.Rates(c.id, now)
+	rearm, fire := c.armVoiceFn, c.fireVoiceFn
 	if !voice {
 		rate = dataRate
+		rearm, fire = c.armDataFn, c.fireDataFn
 	}
-	rearm := func() { c.armArrival(voice) }
 	if rate <= 0 {
 		// No arrivals in this segment; wake up when the rates next change.
 		if bound := prof.NextChange(now); !math.IsInf(bound, 1) {
@@ -214,14 +333,7 @@ func (c *cell) armArrival(voice bool) {
 		c.schedule(bound-now, rearm)
 		return
 	}
-	c.schedule(gap, func() {
-		if voice {
-			c.gsmArrival()
-		} else {
-			c.gprsArrival()
-		}
-		rearm()
-	})
+	c.schedule(gap, fire)
 }
 
 // armDwell schedules fire after an exponential dwell time whose mean is the
@@ -236,8 +348,11 @@ func (c *cell) armArrival(voice bool) {
 // set receives every scheduled event handle (the dwell timer or a boundary
 // re-arm), so the owner's cancellable handle always tracks the pending
 // event. All decisions depend only on the cell's own stream and the (pure)
-// profile, which keeps the serial and sharded engines bit-identical.
-func (c *cell) armDwell(base float64, fire func(), set func(*des.Event)) {
+// profile, which keeps the serial and sharded engines bit-identical. fire
+// and set are the owning record's prebound closures; the boundary re-arm
+// closure is the one allocation left on this path, costing O(profile
+// boundaries), not O(events) — under constant profiles it never runs.
+func (c *cell) armDwell(base float64, fire func(), set func(des.Handle)) {
 	mean := base
 	bound := math.Inf(1)
 	if prof := c.env.conf().Mobility; prof != nil {
@@ -262,8 +377,9 @@ func (c *cell) gsmArrival() {
 	}
 	c.addVoice()
 	duration := c.streams.duration.Exponential(c.env.conf().GSMCallDurationSec)
-	call := &voiceCall{cell: c, departAt: c.now() + duration}
-	call.departEv = c.schedule(duration, call.depart)
+	call := c.getVoice()
+	call.departAt = c.now() + duration
+	call.departEv = c.schedule(duration, call.departFn)
 	call.scheduleHandover()
 }
 
@@ -275,7 +391,7 @@ func (c *cell) gprsArrival() {
 		return
 	}
 	c.addSession()
-	s := &session{cell: c}
+	s := c.getSession()
 	s.scheduleHandover()
 	s.start()
 }
@@ -305,8 +421,9 @@ func (c *cell) receiveVoice(st voiceState) {
 	}
 	c.addVoice()
 	c.handoversIn++
-	call := &voiceCall{cell: c, departAt: st.departAt}
-	call.departEv = c.schedule(st.departAt-c.now(), call.depart)
+	call := c.getVoice()
+	call.departAt = st.departAt
+	call.departEv = c.schedule(st.departAt-c.now(), call.departFn)
 	call.scheduleHandover()
 }
 
@@ -319,14 +436,16 @@ func (c *cell) receiveSession(st sessionState) {
 	}
 	c.addSession()
 	c.handoversIn++
-	s := &session{cell: c, active: true, packetCallsLeft: st.packetCallsLeft}
+	s := c.getSession()
+	s.active = true
+	s.packetCallsLeft = st.packetCallsLeft
 	s.scheduleHandover()
 	switch st.phase {
 	case phaseReading:
-		s.genEv = c.schedule(max(0, st.resumeAt-c.now()), s.startPacketCall)
+		s.genEv = c.schedule(max(0, st.resumeAt-c.now()), s.startPacketCallFn)
 	case phaseOpenLoop:
 		s.packetsLeftInCall = st.packetsLeft
-		s.genEv = c.schedule(max(0, st.resumeAt-c.now()), s.generatePacket)
+		s.genEv = c.schedule(max(0, st.resumeAt-c.now()), s.generatePacketFn)
 	case phaseTCP:
 		if st.packetsLeft <= 0 {
 			// Every segment had reached the mobile; only the closing
@@ -369,11 +488,12 @@ func (c *cell) removeSession() {
 }
 
 // enqueue offers a packet to the BSC buffer. It returns false when the buffer
-// is full and the packet is dropped.
+// is full; the dropped packet is recycled, so callers must not retain it.
 func (c *cell) enqueue(p *packet) bool {
 	c.packetsOffered++
 	if len(c.buffer) >= c.env.conf().BufferSize {
 		c.packetsLost++
+		c.putPacket(p)
 		return false
 	}
 	p.enqueuedAt = c.now()
@@ -391,7 +511,7 @@ func (c *cell) ensureTick() {
 		return
 	}
 	c.tickScheduled = true
-	c.schedule(0, c.radioTick)
+	c.schedule(0, c.radioTickFn)
 }
 
 // radioTick transmits one radio-block period worth of data: every available
@@ -431,6 +551,7 @@ func (c *cell) radioTick() {
 	for _, p := range c.buffer {
 		if p.blocksLeft <= 0 {
 			c.deliver(p, now)
+			c.putPacket(p)
 			continue
 		}
 		remaining = append(remaining, p)
@@ -444,14 +565,14 @@ func (c *cell) radioTick() {
 
 	if len(c.buffer) > 0 {
 		c.tickScheduled = true
-		c.schedule(blockPeriodSec, c.radioTick)
+		c.schedule(blockPeriodSec, c.radioTickFn)
 	} else {
 		c.pdchUsage.Update(now, 0)
 	}
 }
 
 // deliver records the delivery of a packet to the mobile station and notifies
-// the owning TCP connection, if any.
+// the owning TCP connection, if any. The caller recycles the packet.
 func (c *cell) deliver(p *packet, at float64) {
 	c.packetsDelivered++
 	c.delaySum += at - p.enqueuedAt

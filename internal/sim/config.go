@@ -105,6 +105,12 @@ type Config struct {
 	// the same Seed and the two kinds form an antithetic pair — the
 	// variance-reduction mode of the replication runner sets this field.
 	Streams des.StreamKind
+
+	// EventQueue selects the event-list implementation of the engine's
+	// calendars. The zero value (des.HeapQueue) is the binary-heap reference;
+	// des.CalendarQueue selects the Brown calendar queue. Every kind produces
+	// bit-identical results — the choice affects performance only.
+	EventQueue des.QueueKind
 }
 
 // DefaultConfig returns the simulator configuration matching the base
@@ -203,6 +209,9 @@ func (c Config) Validate() error {
 	}
 	if c.Streams < des.StreamDefault || c.Streams > des.StreamAntithetic {
 		return fmt.Errorf("%w: stream kind %d", ErrInvalidConfig, c.Streams)
+	}
+	if c.EventQueue < des.HeapQueue || c.EventQueue > des.CalendarQueue {
+		return fmt.Errorf("%w: event queue kind %d", ErrInvalidConfig, c.EventQueue)
 	}
 	if c.EnableTCP {
 		if err := c.TCP.Validate(); err != nil {

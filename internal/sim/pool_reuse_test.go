@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+func poolTestCell(t *testing.T) *cell {
+	t.Helper()
+	topo, err := cluster.Preset(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(traffic.Model3, 0.5)
+	cfg.Topology = topo
+	cfg.EnableTCP = false
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.cells[0]
+}
+
+// TestSessionPoolResetOnReuse proves a recycled session record carries no
+// stale state into its next life: the freelist hands back the same record,
+// fully reset, with its prebound action closures intact.
+func TestSessionPoolResetOnReuse(t *testing.T) {
+	c := poolTestCell(t)
+	s1 := c.getSession()
+	if s1.startPacketCallFn == nil || s1.generatePacketFn == nil ||
+		s1.handoverFn == nil || s1.setHandoverEv == nil {
+		t.Fatal("fresh session record is missing prebound closures")
+	}
+	// Dirty every field a live session mutates.
+	s1.active = true
+	s1.packetCallsLeft = 9
+	s1.packetsLeftInCall = 4
+	s1.conn = &connection{}
+	s1.genEv = c.schedule(1, func() {})
+	s1.handoverEv = c.schedule(2, func() {})
+	s1.genEv.Cancel()
+	s1.handoverEv.Cancel()
+	c.putSession(s1)
+
+	s2 := c.getSession()
+	if s2 != s1 {
+		t.Fatal("freelist should recycle the same record")
+	}
+	if s2.active || s2.packetCallsLeft != 0 || s2.packetsLeftInCall != 0 || s2.conn != nil {
+		t.Errorf("recycled session carries stale state: %+v", s2)
+	}
+	if s2.genEv != (des.Handle{}) || s2.handoverEv != (des.Handle{}) {
+		t.Error("recycled session carries stale event handles")
+	}
+	if s2.startPacketCallFn == nil || s2.generatePacketFn == nil {
+		t.Error("recycling dropped the prebound closures")
+	}
+}
+
+// TestVoiceCallPoolResetOnReuse is the voice-call counterpart.
+func TestVoiceCallPoolResetOnReuse(t *testing.T) {
+	c := poolTestCell(t)
+	v1 := c.getVoice()
+	if v1.departFn == nil || v1.handoverFn == nil || v1.setHandoverEv == nil {
+		t.Fatal("fresh voice record is missing prebound closures")
+	}
+	v1.departAt = 123.5
+	v1.departEv = c.schedule(1, func() {})
+	v1.handoverEv = c.schedule(2, func() {})
+	v1.departEv.Cancel()
+	v1.handoverEv.Cancel()
+	c.putVoice(v1)
+
+	v2 := c.getVoice()
+	if v2 != v1 {
+		t.Fatal("freelist should recycle the same record")
+	}
+	if v2.departAt != 0 {
+		t.Errorf("recycled voice call carries stale departAt %v", v2.departAt)
+	}
+	if v2.departEv != (des.Handle{}) || v2.handoverEv != (des.Handle{}) {
+		t.Error("recycled voice call carries stale event handles")
+	}
+	if v2.departFn == nil || v2.handoverFn == nil {
+		t.Error("recycling dropped the prebound closures")
+	}
+}
+
+// TestPacketPoolResetOnReuse is the packet counterpart: delivered and dropped
+// packets return reset.
+func TestPacketPoolResetOnReuse(t *testing.T) {
+	c := poolTestCell(t)
+	p1 := c.getPacket()
+	p1.conn = &connection{}
+	p1.seq = 7
+	p1.enqueuedAt = 3.25
+	p1.blocksLeft = 5
+	c.putPacket(p1)
+
+	p2 := c.getPacket()
+	if p2 != p1 {
+		t.Fatal("freelist should recycle the same record")
+	}
+	if p2.conn != nil || p2.seq != 0 || p2.enqueuedAt != 0 || p2.blocksLeft != 0 {
+		t.Errorf("recycled packet carries stale state: %+v", p2)
+	}
+}
+
+// TestSessionLifecycleRecycles drives one real session to completion and
+// checks the record lands back on the freelist through the model's own code
+// path (session.end), not just the manual put.
+func TestSessionLifecycleRecycles(t *testing.T) {
+	topo, err := cluster.Preset(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(traffic.Model3, 0.5)
+	cfg.Topology = topo
+	cfg.EnableTCP = false
+	cfg.GPRSDwellTimeSec = 1e9 // effectively no handovers: session dies at home
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.cells[0]
+	c.addSession()
+	sess := c.getSession()
+	sess.scheduleHandover()
+	sess.start()
+	s.eng.RunUntil(1e6)
+	if sess.active {
+		t.Fatal("session should have completed")
+	}
+	found := false
+	for _, f := range c.freeSess {
+		if f == sess {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("completed session did not return to the freelist")
+	}
+}

@@ -8,12 +8,14 @@
 package sim_test
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math"
 	"reflect"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/des"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -93,6 +95,83 @@ func TestScenariosSerialShardedBitIdentical(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// resultsDigest condenses a Results value into a short hex digest of its
+// Go-syntax representation (floats round-trip through their shortest exact
+// representation, so the digest pins every bit of every field).
+func resultsDigest(r sim.Results) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", r)))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// TestGoldenResultDigests pins the exact seed results bit for bit: the
+// digests below were captured from the pre-pooling engines (before the
+// allocation-free refactor of PR 6), so any refactor that changes a single
+// draw, merge order, or accumulation anywhere in the engine stack fails this
+// test. Every scenario preset (plus the profile-less baseline) runs on both
+// the serial and the 4-shard engine and on both event-list implementations
+// (binary heap and calendar queue) — all four paths must reproduce the same
+// golden digest. -short restricts the table to the seven-cell cluster and
+// drops the calendar-queue leg.
+func TestGoldenResultDigests(t *testing.T) {
+	golden := []struct {
+		name  string
+		cells int
+		want  string
+	}{
+		{"baseline", 7, "376bb835b94d2c74"},
+		{"busyhour", 7, "376bb835b94d2c74"},
+		{"gradient", 7, "8720d676deb0ee6a"},
+		{"highway", 7, "3741d8a80cf26d3f"},
+		{"hotspot", 7, "a542d02aacfa96b6"},
+		{"hotspot-busyhour", 7, "a542d02aacfa96b6"},
+		{"hotspot-pedestrian", 7, "145418b789b66619"},
+		{"uniform", 7, "376bb835b94d2c74"},
+		{"baseline", 19, "e13fac49d065e27d"},
+		{"busyhour", 19, "e13fac49d065e27d"},
+		{"gradient", 19, "47101153fd9c2d70"},
+		{"highway", 19, "d8651dfd2d1d0c4b"},
+		{"hotspot", 19, "4ba63ac108da097b"},
+		{"hotspot-busyhour", 19, "4ba63ac108da097b"},
+		{"hotspot-pedestrian", 19, "08d216e5f2a6cf9c"},
+		{"uniform", 19, "e13fac49d065e27d"},
+	}
+	// The busyhour ramp steps after this quick config's horizon and the
+	// uniform scenario is the identity, so their digests legitimately equal
+	// the baseline's — the table keeps them as separate rows so a future
+	// config change that moves the horizon shows up.
+	queues := []des.QueueKind{des.HeapQueue, des.CalendarQueue}
+	if testing.Short() {
+		queues = queues[:1]
+	}
+	for _, g := range golden {
+		if g.cells != 7 && testing.Short() {
+			continue
+		}
+		t.Run(fmt.Sprintf("%s/%dcells", g.name, g.cells), func(t *testing.T) {
+			for _, queue := range queues {
+				for _, shards := range []int{1, 4} {
+					cfg := scenarioQuickConfig(t, g.cells)
+					cfg.EventQueue = queue
+					if g.name != "baseline" {
+						spec, err := scenario.Preset(g.name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if _, err := scenario.Apply(&cfg, spec); err != nil {
+							t.Fatal(err)
+						}
+					}
+					res := mustRun(t, cfg, shards)
+					if got := resultsDigest(res); got != g.want {
+						t.Errorf("queue %d, %d shard(s): digest %s, want seed digest %s",
+							queue, shards, got, g.want)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -6,7 +6,8 @@ import (
 )
 
 // packet is one 480-byte network-layer data packet travelling through the BSC
-// buffer of a cell.
+// buffer of a cell. Packets are recycled through the cell's freelist when they
+// are delivered or dropped.
 type packet struct {
 	conn       *connection
 	seq        int
@@ -16,30 +17,39 @@ type packet struct {
 
 // voiceCall is one circuit-switched GSM call. It is anchored to its current
 // cell; a handover serializes the call into a voiceState message and
-// recreates it in the target cell after the handover latency.
+// recreates it in the target cell after the handover latency. Records are
+// recycled through the cell's freelist when the call departs or hands over;
+// the prebound closures (departFn, handoverFn, setHandoverEv) are created once
+// at first allocation and survive reuse.
 type voiceCall struct {
 	cell       *cell
 	departAt   float64
-	departEv   *des.Event
-	handoverEv *des.Event
+	departEv   des.Handle
+	handoverEv des.Handle
+
+	departFn      func()
+	handoverFn    func()
+	setHandoverEv func(des.Handle)
 }
 
-// depart completes the voice call.
+// depart completes the voice call and recycles its record.
 func (v *voiceCall) depart() {
 	v.cell.removeVoice()
 	v.handoverEv.Cancel()
+	v.cell.putVoice(v)
 }
 
 // scheduleHandover arms the dwell-time timer of the call in its current cell,
 // scaled by the cell's mobility profile (see cell.armDwell).
 func (v *voiceCall) scheduleHandover() {
 	c := v.cell
-	c.armDwell(c.env.conf().GSMDwellTimeSec, v.handover, func(ev *des.Event) { v.handoverEv = ev })
+	c.armDwell(c.env.conf().GSMDwellTimeSec, v.handoverFn, v.setHandoverEv)
 }
 
 // handover moves the call towards a neighbouring cell: the call leaves this
 // cell immediately and arrives — or is dropped, if the target has no free
-// traffic channel — after the handover latency.
+// traffic channel — after the handover latency. The record is recycled; the
+// serialized voiceState carries everything the target cell needs.
 func (v *voiceCall) handover() {
 	c := v.cell
 	target := c.env.conf().Topology.HandoverTarget(c.id, c.streams.handover.Intn)
@@ -51,14 +61,18 @@ func (v *voiceCall) handover() {
 	c.voiceHandoversOut++
 	c.removeVoice()
 	v.departEv.Cancel()
-	c.env.dispatch(c, target, handoverMsg{kind: hoVoice, voice: voiceState{departAt: v.departAt}})
+	departAt := v.departAt
+	c.putVoice(v)
+	c.env.dispatch(c, target, handoverMsg{kind: hoVoice, voice: voiceState{departAt: departAt}})
 }
 
 // session is one GPRS packet-service session: an alternating sequence of
 // packet calls (document downloads) and reading times, following the 3GPP
 // traffic model of the paper. Like voiceCall it is anchored to its current
 // cell; a handover serializes the session's phase into a sessionState message
-// and resumes it in the target cell.
+// and resumes it in the target cell. Records are recycled through the cell's
+// freelist when the session ends; the prebound closures are created once at
+// first allocation and survive reuse.
 type session struct {
 	cell *cell
 
@@ -70,9 +84,14 @@ type session struct {
 
 	// Open-loop (IPP) state.
 	packetsLeftInCall int
-	genEv             *des.Event
+	genEv             des.Handle
 
-	handoverEv *des.Event
+	handoverEv des.Handle
+
+	startPacketCallFn func()
+	generatePacketFn  func()
+	handoverFn        func()
+	setHandoverEv     func(des.Handle)
 }
 
 func (s *session) cfg() *Config { return s.cell.env.conf() }
@@ -116,7 +135,7 @@ func (s *session) startTransfer(segments int) {
 // packet call after an exponential inter-arrival time.
 func (s *session) scheduleNextGeneration() {
 	gap := s.cell.streams.traffic.Exponential(s.cfg().Session.PacketInterarrivalSec)
-	s.genEv = s.cell.schedule(gap, s.generatePacket)
+	s.genEv = s.cell.schedule(gap, s.generatePacketFn)
 }
 
 // generatePacket emits one open-loop packet into the BSC buffer of the
@@ -125,7 +144,7 @@ func (s *session) generatePacket() {
 	if !s.active {
 		return
 	}
-	s.cell.enqueue(&packet{})
+	s.cell.enqueue(s.cell.getPacket())
 	s.packetsLeftInCall--
 	if s.packetsLeftInCall > 0 {
 		s.scheduleNextGeneration()
@@ -147,10 +166,11 @@ func (s *session) packetCallComplete() {
 		return
 	}
 	reading := s.cell.streams.traffic.Exponential(s.cfg().Session.ReadingTimeSec)
-	s.genEv = s.cell.schedule(reading, s.startPacketCall)
+	s.genEv = s.cell.schedule(reading, s.startPacketCallFn)
 }
 
-// end terminates the session and releases its slot in the current cell.
+// end terminates the session, releases its slot in the current cell, and
+// recycles the record. Callers must not touch the session afterwards.
 func (s *session) end() {
 	if !s.active {
 		return
@@ -163,6 +183,7 @@ func (s *session) end() {
 		s.conn.abort()
 		s.conn = nil
 	}
+	s.cell.putSession(s)
 }
 
 // handover moves the session towards a neighbouring cell. The session leaves
@@ -199,10 +220,10 @@ func (s *session) captureState() sessionState {
 	case s.packetsLeftInCall > 0:
 		st.phase = phaseOpenLoop
 		st.packetsLeft = s.packetsLeftInCall
-		st.resumeAt = s.genEv.Time
+		st.resumeAt = s.genEv.Time()
 	default:
 		st.phase = phaseReading
-		st.resumeAt = s.genEv.Time
+		st.resumeAt = s.genEv.Time()
 	}
 	return st
 }
@@ -211,7 +232,7 @@ func (s *session) captureState() sessionState {
 // the cell's mobility profile (see cell.armDwell).
 func (s *session) scheduleHandover() {
 	c := s.cell
-	c.armDwell(s.cfg().GPRSDwellTimeSec, s.handover, func(ev *des.Event) { s.handoverEv = ev })
+	c.armDwell(s.cfg().GPRSDwellTimeSec, s.handoverFn, s.setHandoverEv)
 }
 
 // connection is the TCP transfer of one packet call: a fixed-network sender
@@ -220,6 +241,12 @@ func (s *session) scheduleHandover() {
 // connection lives and dies within one cell: the session's handover aborts it
 // and restarts the outstanding segments in the target cell, so all of its
 // events stay on the calendar of the cell that opened it.
+//
+// Connections are deliberately exempt from the allocation-free contract: the
+// per-segment bookkeeping maps and delivery closures allocate, which is why
+// the allocation-budget tests run with EnableTCP=false. Pooling the TCP path
+// would buy little — a connection lives for a whole document transfer, not
+// for one event.
 type connection struct {
 	sess   *session
 	cell   *cell
@@ -231,8 +258,10 @@ type connection struct {
 	sendTimes     map[int]float64
 	retransmitted map[int]bool
 
-	rtoEv *des.Event
+	rtoEv des.Handle
 	done  bool
+
+	onTimeoutFn func()
 }
 
 func newConnection(s *session, totalSegments int) (*connection, error) {
@@ -240,7 +269,7 @@ func newConnection(s *session, totalSegments int) (*connection, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &connection{
+	c := &connection{
 		sess:          s,
 		cell:          s.cell,
 		sender:        sender,
@@ -248,7 +277,9 @@ func newConnection(s *session, totalSegments int) (*connection, error) {
 		deliveredSeqs: make(map[int]bool, totalSegments),
 		sendTimes:     make(map[int]float64, totalSegments),
 		retransmitted: make(map[int]bool),
-	}, nil
+	}
+	c.onTimeoutFn = c.onTimeout
+	return c, nil
 }
 
 // pump transmits new segments while the congestion window allows it.
@@ -272,7 +303,10 @@ func (c *connection) send(seq int) {
 		if c.done {
 			return
 		}
-		c.cell.enqueue(&packet{conn: c, seq: seq})
+		p := c.cell.getPacket()
+		p.conn = c
+		p.seq = seq
+		c.cell.enqueue(p)
 	})
 	c.restartRTO()
 }
@@ -336,7 +370,7 @@ func (c *connection) onTimeout() {
 // restartRTO re-arms the retransmission timer.
 func (c *connection) restartRTO() {
 	c.rtoEv.Cancel()
-	c.rtoEv = c.cell.schedule(c.sender.RTO(), c.onTimeout)
+	c.rtoEv = c.cell.schedule(c.sender.RTO(), c.onTimeoutFn)
 }
 
 // complete finishes the transfer and hands control back to the session.

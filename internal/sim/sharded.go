@@ -44,21 +44,60 @@ type cellProc struct {
 	cell   *cell
 	outbox []shard.Message
 	seq    uint64
+
+	// free recycles handover transit records. A record is acquired from the
+	// source proc's pool at dispatch and released into the destination proc's
+	// pool when its delivery fires — each pool is only ever touched by the
+	// goroutine currently advancing its proc (or by the barrier), so no
+	// locking is needed.
+	free []*shardTransit
 }
 
+// shardTransit is one handover message in flight between cells of the sharded
+// engine. It rides as the message Payload (a pointer, so boxing into the
+// interface does not allocate); fn is bound to the record once, at first
+// allocation, so dispatch and delivery allocate nothing in steady state.
+type shardTransit struct {
+	dst *cellProc
+	msg handoverMsg
+	fn  func()
+}
+
+func (p *cellProc) getTransit() *shardTransit {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t
+	}
+	t := &shardTransit{}
+	t.fn = func() {
+		d := t.dst
+		d.cell.receive(t.msg)
+		t.msg = handoverMsg{}
+		t.dst = nil
+		d.free = append(d.free, t)
+	}
+	return t
+}
+
+// Advance resets the outbox of the previous window (its messages were merged
+// at the barrier), runs the cell's calendar, and returns the buffered
+// messages without copying — the shard engine consumes the slice before this
+// proc's next Advance call.
 func (p *cellProc) Advance(t float64) []shard.Message {
+	p.outbox = p.outbox[:0]
 	p.cell.eng.RunUntil(t)
 	if len(p.outbox) == 0 {
 		return nil
 	}
-	out := append([]shard.Message(nil), p.outbox...)
-	p.outbox = p.outbox[:0]
-	return out
+	return p.outbox
 }
 
 func (p *cellProc) Deliver(m shard.Message) {
-	hm := m.Payload.(handoverMsg)
-	if _, err := p.cell.eng.Schedule(m.At, func() { p.cell.receive(hm) }); err != nil {
+	t := m.Payload.(*shardTransit)
+	t.dst = p
+	if _, err := p.cell.eng.Schedule(m.At, t.fn); err != nil {
 		// The shard engine guarantees m.At is at or beyond this cell's
 		// clock, and Schedule accepts the current time.
 		panic(err)
@@ -90,7 +129,7 @@ func RunOnce(cfg Config, opt ShardedOptions) (Results, error) {
 func NewSharded(cfg Config, opt ShardedOptions) (*Sharded, error) {
 	s := &Sharded{}
 	var err error
-	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(int) *des.Simulation { return des.NewSimulation() })
+	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(int) *des.Simulation { return des.NewSimulationQueue(cfg.EventQueue) })
 	if err != nil {
 		return nil, err
 	}
@@ -144,11 +183,13 @@ func (s *Sharded) processedEvents() uint64 {
 func (s *Sharded) dispatch(src *cell, dst int, m handoverMsg) {
 	p := s.procs[src.id]
 	p.seq++
+	t := p.getTransit()
+	t.msg = m
 	p.outbox = append(p.outbox, shard.Message{
 		At:      src.now() + s.config.HandoverLatencySec,
 		Src:     src.id,
 		Dst:     dst,
 		Seq:     p.seq,
-		Payload: m,
+		Payload: t,
 	})
 }

@@ -32,11 +32,16 @@ type Simulator struct {
 	eng    *des.Simulation
 	cells  []*cell
 	bpp    int
+
+	// freeHO recycles handover-dispatch records, keeping dispatch off the
+	// allocator (the scheduled closure is bound to the record once, at first
+	// allocation).
+	freeHO []*hoTransit
 }
 
 // New validates the configuration and builds a serial simulator.
 func New(cfg Config) (*Simulator, error) {
-	s := &Simulator{eng: des.NewSimulation()}
+	s := &Simulator{eng: des.NewSimulationQueue(cfg.EventQueue)}
 	var err error
 	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(int) *des.Simulation { return s.eng })
 	if err != nil {
@@ -86,11 +91,41 @@ func (s *Simulator) advanceTo(t float64) error {
 	return nil
 }
 
+// hoTransit is one handover message in flight on the serial engine's shared
+// calendar. Records are recycled through the simulator's freelist; fn is
+// bound to the record once, at first allocation, so dispatching allocates
+// nothing in steady state.
+type hoTransit struct {
+	sim *Simulator
+	dst int
+	msg handoverMsg
+	fn  func()
+}
+
+func (s *Simulator) getHO() *hoTransit {
+	if n := len(s.freeHO); n > 0 {
+		t := s.freeHO[n-1]
+		s.freeHO[n-1] = nil
+		s.freeHO = s.freeHO[:n-1]
+		return t
+	}
+	t := &hoTransit{sim: s}
+	t.fn = func() {
+		t.sim.cells[t.dst].receive(t.msg)
+		t.msg = handoverMsg{}
+		t.sim.freeHO = append(t.sim.freeHO, t)
+	}
+	return t
+}
+
 // dispatch implements cellEnv on the shared calendar: the handover message is
 // simply scheduled for delivery after the handover latency.
 func (s *Simulator) dispatch(src *cell, dst int, m handoverMsg) {
 	at := src.now() + s.config.HandoverLatencySec
-	if _, err := s.eng.Schedule(at, func() { s.cells[dst].receive(m) }); err != nil {
+	t := s.getHO()
+	t.dst = dst
+	t.msg = m
+	if _, err := s.eng.Schedule(at, t.fn); err != nil {
 		// Delays are non-negative and finite by construction; an error here
 		// would be a programming bug, not a model condition.
 		panic(err)
