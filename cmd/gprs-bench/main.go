@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/probe"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -61,11 +62,19 @@ func run(args []string) error {
 	baselineDir := fs.String("baseline", "benchdata", "trajectory directory compared against (empty disables the gate)")
 	tol := fs.Float64("tol", 0.15, "relative events/sec regression tolerance")
 	date := fs.String("date", "", "report date override (YYYY-MM-DD; default today)")
+	telemetry := fs.String("telemetry", "", "serve live pprof/expvar telemetry on this address (e.g. :6060) for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *date == "" {
 		*date = time.Now().Format("2006-01-02")
+	}
+	if *telemetry != "" {
+		addr, err := probe.ServeTelemetry(*telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
 	report := bench.Report{
@@ -74,15 +83,18 @@ func run(args []string) error {
 		Quick:         *quick,
 		Host:          bench.CurrentHost(),
 	}
+	harnessStart := time.Now()
 	for _, w := range workloads(*quick) {
 		res, err := measure(w)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.name, err)
 		}
 		report.Results = append(report.Results, res)
-		fmt.Printf("%-28s %12.0f ev/s  %8.1f ns/ev  %8.4f allocs/ev  %8.1f B/ev  (%d events)\n",
-			res.Name, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent, res.BytesPerEvent, res.Events)
+		fmt.Printf("%-28s %12.0f ev/s  %8.1f ns/ev  %8.4f allocs/ev  %8.1f B/ev  %6.1f ms GC  %6.1f MiB heap  (%d events)\n",
+			res.Name, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent, res.BytesPerEvent,
+			res.GCPauseTotalSec*1e3, float64(res.PeakHeapBytes)/(1<<20), res.Events)
 	}
+	report.WallSec = time.Since(harnessStart).Seconds()
 
 	path, err := bench.WriteFile(*out, report)
 	if err != nil {
@@ -143,13 +155,15 @@ func measure(w workload) (bench.Result, error) {
 	}
 	ev := float64(events)
 	return bench.Result{
-		Name:           w.name,
-		Events:         events,
-		WallSec:        wall,
-		EventsPerSec:   ev / wall,
-		NsPerEvent:     wall * 1e9 / ev,
-		AllocsPerEvent: float64(after.Mallocs-before.Mallocs) / ev,
-		BytesPerEvent:  float64(after.TotalAlloc-before.TotalAlloc) / ev,
+		Name:            w.name,
+		Events:          events,
+		WallSec:         wall,
+		EventsPerSec:    ev / wall,
+		NsPerEvent:      wall * 1e9 / ev,
+		AllocsPerEvent:  float64(after.Mallocs-before.Mallocs) / ev,
+		BytesPerEvent:   float64(after.TotalAlloc-before.TotalAlloc) / ev,
+		GCPauseTotalSec: float64(after.PauseTotalNs-before.PauseTotalNs) / 1e9,
+		PeakHeapBytes:   after.HeapSys,
 	}, nil
 }
 

@@ -18,6 +18,12 @@
 // hotspot-pedestrian) additionally skew the per-cell handover flow, reported
 // by the hsp05 figure.
 //
+// Progress is human-readable by default; -progress-json switches the stderr
+// stream to structured JSON lines (one event per completed sweep point or
+// figure group, with wall-clock elapsed and a remaining-work estimate), for
+// driving dashboards or CI annotations. -telemetry serves live pprof and
+// expvar runtime metrics over HTTP for the duration of the run.
+//
 // Examples:
 //
 //	gprs-experiments                      # quick fidelity, every figure
@@ -28,9 +34,12 @@
 //	gprs-experiments -figure hotspot -cells 19 -replications 5
 //	gprs-experiments -figure hotspot -scenario gradient
 //	gprs-experiments -figure hotspot -scenario highway -cells 19
+//	gprs-experiments -full -progress-json 2>progress.jsonl
+//	gprs-experiments -full -telemetry :6060
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +48,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/probe"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
@@ -71,9 +81,18 @@ func run(args []string) error {
 		scnName = fs.String("scenario", "", "built-in workload scenario for all simulator runs: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
 		quiet   = fs.Bool("quiet", false, "suppress progress output on stderr")
+		pjson   = fs.Bool("progress-json", false, "emit structured JSON-lines progress events on stderr instead of human-readable lines")
+		telem   = fs.String("telemetry", "", "serve live pprof/expvar telemetry on this address (e.g. :6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telem != "" {
+		addr, err := probe.ServeTelemetry(*telem)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 	vr, err := runner.ParseVR(*vrName)
 	if err != nil {
@@ -125,7 +144,12 @@ func run(args []string) error {
 		}
 		opts.Scenario = &spec
 	}
-	if !*quiet {
+	switch {
+	case *quiet:
+		// No progress stream at all.
+	case *pjson:
+		opts.ProgressRecord = jsonProgress(os.Stderr, start)
+	default:
 		opts.Progress = func(msg string) {
 			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
 		}
@@ -155,6 +179,34 @@ func run(args []string) error {
 	}
 	fmt.Printf("wrote %d CSV files to %s in %.1fs\n", len(paths), *outDir, time.Since(start).Seconds())
 	return nil
+}
+
+// progressLine is one JSON-lines record of -progress-json: the structured
+// experiments event plus wall-clock pacing derived from it.
+type progressLine struct {
+	experiments.ProgressEvent
+	// ElapsedSec is the wall-clock time since the run started.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// ETASec estimates the remaining wall-clock time of the event's figure
+	// from its completed-point fraction; omitted on group events and on the
+	// run's first point (no pace yet).
+	ETASec float64 `json:"eta_sec,omitempty"`
+}
+
+// jsonProgress returns an experiments.ProgressRecord callback that streams
+// one JSON line per completion event to w. Calls are serialized by the
+// experiments package, so the encoder needs no extra locking.
+func jsonProgress(w *os.File, start time.Time) func(experiments.ProgressEvent) {
+	enc := json.NewEncoder(w)
+	return func(ev experiments.ProgressEvent) {
+		line := progressLine{ProgressEvent: ev, ElapsedSec: time.Since(start).Seconds()}
+		if ev.Kind == "point" && ev.Done > 0 && ev.Total > ev.Done {
+			line.ETASec = line.ElapsedSec / float64(ev.Done) * float64(ev.Total-ev.Done)
+		}
+		if err := enc.Encode(line); err != nil {
+			fmt.Fprintf(os.Stderr, "progress-json: %v\n", err)
+		}
+	}
 }
 
 func selectFigures(name string, opts experiments.Options) ([]experiments.Figure, error) {

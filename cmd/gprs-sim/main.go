@@ -28,6 +28,17 @@
 // (antithetic replication pairs, or the Erlang-B control-variate estimator).
 // See the README's "Statistical methodology" section for the estimators.
 //
+// -series arms the deterministic time-series probes (internal/probe) and
+// writes one record per probe window and cell — queue depth, voice calls,
+// sessions, cumulative packet/blocking/handover counters, and per-window PLP
+// and throughput — without perturbing the simulation: results stay
+// bit-identical with probes on or off. The format is JSONL when the path ends
+// in .jsonl, CSV otherwise; -series-dt sets the window width in simulated
+// seconds. Replicated runs emit the cross-replication merge (mean ± CI
+// half-width per window and cell). -telemetry serves live pprof and expvar
+// runtime metrics (events/sec, shard barrier waits, replication progress)
+// over HTTP for the duration of the run.
+//
 // Examples:
 //
 //	gprs-sim -model 3 -rate 0.5 -pdch 1 -measure 20000
@@ -38,6 +49,9 @@
 //	gprs-sim -rate 0.5 -cells 19 -scenario hotspot -percell
 //	gprs-sim -rate 0.5 -cells 19 -scenario highway -percell
 //	gprs-sim -rate 0.5 -scenario-file rush.json
+//	gprs-sim -rate 0.5 -series out.csv -series-dt 10
+//	gprs-sim -rate 0.5 -replications 8 -series merged.jsonl
+//	gprs-sim -rate 0.5 -measure 100000 -telemetry :6060
 package main
 
 import (
@@ -47,6 +61,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/probe"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -85,9 +100,19 @@ func run(args []string) error {
 		maxReps = fs.Int("max-reps", 0, "adaptive mode: replication cap (0 = 64)")
 		vrName  = fs.String("vr", "none", "variance reduction: none, antithetic, control")
 		target  = fs.String("target", "throughput", "measure watched by -precision: "+strings.Join(runner.MeasureNames(), ", "))
+		series  = fs.String("series", "", "write per-window per-cell time series to this file (.jsonl = JSON lines, otherwise CSV)")
+		serieDT = fs.Float64("series-dt", 10, "probe window width of -series in simulated seconds")
+		telem   = fs.String("telemetry", "", "serve live pprof/expvar telemetry on this address (e.g. :6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telem != "" {
+		addr, err := probe.ServeTelemetry(*telem)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 	vr, err := runner.ParseVR(*vrName)
 	if err != nil {
@@ -111,6 +136,9 @@ func run(args []string) error {
 	cfg.MeasurementSec = *measure
 	cfg.Batches = *batches
 	cfg.Seed = *seed
+	if *series != "" {
+		cfg.Probe = &probe.Spec{IntervalSec: *serieDT}
+	}
 
 	scenarioLabel := "uniform (paper baseline)"
 	if spec, ok, err := resolveScenario(*scnName, *scnFile); err != nil {
@@ -138,13 +166,19 @@ func run(args []string) error {
 		// directly (not the SeedFor substream of a base seed) and reports
 		// batch-means intervals, matching the pre-replication-engine
 		// behaviour of this command.
-		res, err := sim.RunOnce(cfg, sim.ShardedOptions{Shards: *shards})
+		res, ser, err := sim.RunOnceSeries(cfg, sim.ShardedOptions{Shards: *shards})
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.String())
 		if *perCell {
 			printPerCell(res.PerCell, nil)
+		}
+		if *series != "" {
+			if err := writeRunSeries(*series, ser); err != nil {
+				return err
+			}
+			fmt.Printf("series written to %s (%d windows of %gs)\n", *series, ser.Windows(), ser.IntervalSec)
 		}
 		return nil
 	}
@@ -170,7 +204,53 @@ func run(args []string) error {
 	if *perCell {
 		printPerCell(sum.Merged.PerCell, sum.Merged.PerCellCI)
 	}
+	if *series != "" {
+		if sum.Series == nil {
+			return fmt.Errorf("series: replications produced no mergeable time series")
+		}
+		if err := writeMergedSeries(*series, sum.Series); err != nil {
+			return err
+		}
+		fmt.Printf("merged series written to %s (%d windows of %gs, %d replications)\n",
+			*series, len(sum.Series.Times), sum.Series.IntervalSec, sum.Series.Replications)
+	}
 	return nil
+}
+
+// writeRunSeries writes a single-run probe series to path: JSON lines when
+// the path ends in .jsonl, CSV otherwise.
+func writeRunSeries(path string, s *probe.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = probe.WriteJSONL(f, s)
+	} else {
+		err = probe.WriteCSV(f, s)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeMergedSeries writes the cross-replication series merge to path: JSON
+// lines when the path ends in .jsonl, CSV otherwise.
+func writeMergedSeries(path string, s *runner.SeriesSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = runner.WriteSeriesJSONL(f, s)
+	} else {
+		err = runner.WriteSeriesCSV(f, s)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // resolveScenario turns the -scenario/-scenario-file flags into a scenario

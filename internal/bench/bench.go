@@ -18,10 +18,18 @@ import (
 	"strings"
 )
 
-// SchemaVersion is the current report schema. Decode rejects reports written
-// under a different version, so a schema change forces an explicit migration
-// of the committed trajectory instead of silently misreading old points.
-const SchemaVersion = 1
+// SchemaVersion is the current report schema: version 2 adds the per-workload
+// GC pause total and peak heap plus the report-level harness wall time.
+// Encode writes the current version only; Decode additionally accepts every
+// version back to minSupportedSchema — older reports carry a subset of the
+// fields, all additive, so the committed trajectory keeps loading across the
+// bump. Anything outside that range is rejected, forcing an explicit
+// migration instead of silently misreading old points.
+const SchemaVersion = 2
+
+// minSupportedSchema is the oldest report version Decode still accepts.
+// Every schema change since then has been purely additive.
+const minSupportedSchema = 1
 
 // ErrSchema is returned for reports that do not match the current schema.
 var ErrSchema = errors.New("bench: incompatible report schema")
@@ -62,6 +70,13 @@ type Result struct {
 	// per event over the measured runs (runtime.MemStats deltas).
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// GCPauseTotalSec is the total stop-the-world GC pause time accumulated
+	// during the measured runs (runtime.MemStats.PauseTotalNs delta). Schema
+	// v2; zero in v1 reports.
+	GCPauseTotalSec float64 `json:"gc_pause_total_sec,omitempty"`
+	// PeakHeapBytes is the heap footprint after the measured runs
+	// (runtime.MemStats.HeapSys). Schema v2; zero in v1 reports.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // Report is one point of the benchmark trajectory.
@@ -75,6 +90,9 @@ type Report struct {
 	Quick   bool     `json:"quick,omitempty"`
 	Host    Host     `json:"host"`
 	Results []Result `json:"results"`
+	// WallSec is the total wall-clock time of the harness run that produced
+	// the report, across all workloads. Schema v2; zero in v1 reports.
+	WallSec float64 `json:"wall_sec,omitempty"`
 }
 
 // Filename returns the canonical trajectory filename of the report. Quick
@@ -108,8 +126,8 @@ func Decode(data []byte) (Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return Report{}, fmt.Errorf("bench: malformed report: %w", err)
 	}
-	if r.SchemaVersion != SchemaVersion {
-		return Report{}, fmt.Errorf("%w: version %d, want %d", ErrSchema, r.SchemaVersion, SchemaVersion)
+	if r.SchemaVersion < minSupportedSchema || r.SchemaVersion > SchemaVersion {
+		return Report{}, fmt.Errorf("%w: version %d, want %d..%d", ErrSchema, r.SchemaVersion, minSupportedSchema, SchemaVersion)
 	}
 	return r, nil
 }

@@ -52,8 +52,8 @@ func TestEncodeDecodeRejections(t *testing.T) {
 			_, err := Encode(r)
 			return err
 		}},
-		{"decode wrong version", func() error {
-			_, err := Decode([]byte(`{"schema_version": 2, "date": "2026-01-01"}`))
+		{"decode future version", func() error {
+			_, err := Decode([]byte(`{"schema_version": 3, "date": "2026-01-01"}`))
 			return err
 		}},
 		{"decode zero version", func() error {
@@ -70,6 +70,42 @@ func TestEncodeDecodeRejections(t *testing.T) {
 	}
 	if _, err := Decode([]byte("{not json")); err == nil {
 		t.Error("malformed JSON should fail")
+	}
+}
+
+// TestDecodeSchemaV1Compat pins backward compatibility of the v2 schema bump:
+// a committed v1 trajectory point (no GC pause, peak heap, or harness wall
+// fields) must keep decoding, with the v2-only fields zero, while Encode
+// refuses to write anything but the current version.
+func TestDecodeSchemaV1Compat(t *testing.T) {
+	v1 := []byte(`{
+  "schema_version": 1,
+  "date": "2026-08-01",
+  "host": {"os": "linux", "arch": "amd64", "cpus": 8, "go_version": "go1.24"},
+  "results": [
+    {"name": "serial/base-7cell", "events": 1000000, "wall_sec": 1.25,
+     "events_per_sec": 800000, "ns_per_event": 1250,
+     "allocs_per_event": 0.0001, "bytes_per_event": 0.01}
+  ]
+}`)
+	r, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 report must still decode: %v", err)
+	}
+	if r.SchemaVersion != 1 || r.WallSec != 0 {
+		t.Errorf("v1 decode: got version %d, wall %v", r.SchemaVersion, r.WallSec)
+	}
+	if len(r.Results) != 1 || r.Results[0].GCPauseTotalSec != 0 || r.Results[0].PeakHeapBytes != 0 {
+		t.Errorf("v1 results must decode with zero v2 fields: %+v", r.Results)
+	}
+	if _, err := Encode(r); !errors.Is(err, ErrSchema) {
+		t.Errorf("Encode must refuse the stale version, got %v", err)
+	}
+	// The old point still participates in gating against a v2 run.
+	cur := sampleReport("2026-08-08", 790000)
+	cmp := Compare(&r, cur, 0.15, true)
+	if len(cmp.Deltas) != 1 || cmp.Deltas[0].Status != StatusOK {
+		t.Errorf("v1 baseline must gate a v2 run: %+v", cmp.Deltas)
 	}
 }
 

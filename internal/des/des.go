@@ -221,6 +221,11 @@ type Simulation struct {
 	// free is the event-record freelist: fired and collected events are
 	// recycled here, making the steady-state event path allocation-free.
 	free []*Event
+
+	// poolHits and poolMisses count freelist reuse versus fresh allocations;
+	// they feed the runtime telemetry's pool-hit-rate metric. Plain counters:
+	// a Simulation is single-goroutine by contract.
+	poolHits, poolMisses uint64
 }
 
 // NewSimulation returns an empty simulation with the clock at time 0, using
@@ -263,9 +268,17 @@ func (s *Simulation) acquire() *Event {
 		ev := s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
+		s.poolHits++
 		return ev
 	}
+	s.poolMisses++
 	return &Event{}
+}
+
+// PoolStats returns the event-record freelist's reuse counters: hits are
+// Schedule calls served from recycled records, misses are fresh allocations.
+func (s *Simulation) PoolStats() (hits, misses uint64) {
+	return s.poolHits, s.poolMisses
 }
 
 // release recycles an event record. Bumping the generation expires every

@@ -158,6 +158,11 @@ type Options struct {
 	// unit of work (a finished figure, a simulated point). Calls are
 	// serialized but may arrive in any order.
 	Progress func(msg string)
+	// ProgressRecord, when non-nil, receives the same completion events as
+	// Progress in structured form (figure id, point counts, replication
+	// counts, convergence state), for machine-readable progress streams.
+	// Calls are serialized with Progress calls but may arrive in any order.
+	ProgressRecord func(ev ProgressEvent)
 
 	// limiter is the shared semaphore bounding the number of concurrently
 	// active model solutions and simulator runs across every level of
@@ -235,6 +240,45 @@ func (o Options) progress(format string, args ...any) {
 	o.progressMu.Lock()
 	defer o.progressMu.Unlock()
 	o.Progress(msg)
+}
+
+// ProgressEvent is one structured completion event of an experiment run,
+// delivered through Options.ProgressRecord.
+type ProgressEvent struct {
+	// Kind discriminates the event: "point" for a completed sweep point,
+	// "group" for a completed figure group.
+	Kind string `json:"kind"`
+	// Figure identifies the figure (point events) or figure group (group
+	// events) the unit of work belongs to.
+	Figure string `json:"figure"`
+	// Done counts completed units of the event's kind: sweep points of the
+	// figure, or figure groups of the run.
+	Done int `json:"done"`
+	// Total counts the planned units of the event's kind.
+	Total int `json:"total"`
+	// Replications is the realized replication count of a completed point
+	// (zero for group events).
+	Replications int `json:"replications,omitempty"`
+	// Adaptive marks a completed point whose replication count came from the
+	// precision-targeted stopping rule rather than a fixed setting.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Converged reports whether an adaptive point met its precision target
+	// before hitting the replication cap.
+	Converged bool `json:"converged,omitempty"`
+	// RelativeHalfWidth is the realized relative confidence half-width of
+	// the adaptive target measure at a completed point.
+	RelativeHalfWidth float64 `json:"relative_half_width,omitempty"`
+}
+
+// record emits one structured progress event if a recorder is installed,
+// serialized with the human-readable progress stream.
+func (o Options) record(ev ProgressEvent) {
+	if o.ProgressRecord == nil {
+		return
+	}
+	o.progressMu.Lock()
+	defer o.progressMu.Unlock()
+	o.ProgressRecord(ev)
 }
 
 // Series is one curve of a figure: a performance measure versus the total
@@ -412,6 +456,16 @@ func simulateSweep(o Options, figID string, model traffic.Model, rates []float64
 		mu.Lock()
 		done++
 		o.progress("%s: simulated point %d/%d (%d replications%s)", figID, done, len(rates), sum.Replications, note)
+		o.record(ProgressEvent{
+			Kind:              "point",
+			Figure:            figID,
+			Done:              done,
+			Total:             len(rates),
+			Replications:      sum.Replications,
+			Adaptive:          sum.Adaptive,
+			Converged:         sum.Converged,
+			RelativeHalfWidth: sum.RelativeHalfWidth,
+		})
 		mu.Unlock()
 		return nil
 	})

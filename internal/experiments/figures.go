@@ -429,6 +429,7 @@ func AllFigures(o Options) ([]Figure, error) {
 		mu.Lock()
 		done++
 		o.progress("%s done (%d/%d figure groups)", steps[i].name, done, len(steps))
+		o.record(ProgressEvent{Kind: "group", Figure: steps[i].name, Done: done, Total: len(steps)})
 		mu.Unlock()
 		return nil
 	})

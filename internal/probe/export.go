@@ -1,0 +1,151 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/traffic"
+)
+
+// CSVHeader is the column layout of WriteCSV: one row per (window, cell).
+// Columns named *_cum are cumulative since the measurement start (counters
+// telescope exactly back to the terminal PerCell totals; the mean gauges are
+// cumulative time-weighted averages, so the last row reproduces the terminal
+// aggregates). Columns named window_* are per-window: deltas of the
+// cumulative counters, the packet loss fraction of the window, and the
+// delivered bit rate over the window length.
+const CSVHeader = "time_sec,cell," +
+	"offered_cum,lost_cum,delivered_cum,delay_sum_cum_sec," +
+	"gsm_arrivals_cum,gsm_blocked_cum,gprs_arrivals_cum,gprs_blocked_cum," +
+	"ho_in_cum,ho_out_cum,ho_arrivals_cum,ho_failures_cum," +
+	"queue_len,voice_calls,sessions," +
+	"carried_data_cum,mean_queue_cum,carried_voice_cum,avg_sessions_cum," +
+	"window_offered,window_lost,window_delivered,window_plp,window_throughput_bits"
+
+// fmtFloat renders a float through its shortest representation that parses
+// back to exactly the same bits, so CSV round-trips are lossless.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// windowRates derives the per-window packet loss fraction and delivered bit
+// rate of cell c at window k from the cumulative counters.
+func windowRates(s *Series, c *CellSeries, k int) (offered, lost, delivered int64, plp, throughput float64) {
+	offered, lost, delivered = c.PacketsOffered[k], c.PacketsLost[k], c.PacketsDelivered[k]
+	start := s.StartSec
+	if k > 0 {
+		offered -= c.PacketsOffered[k-1]
+		lost -= c.PacketsLost[k-1]
+		delivered -= c.PacketsDelivered[k-1]
+		start = s.Times[k-1]
+	}
+	if offered > 0 {
+		plp = float64(lost) / float64(offered)
+	}
+	if dt := s.Times[k] - start; dt > 0 {
+		throughput = float64(delivered) * float64(traffic.PacketSizeBits) / dt
+	}
+	return offered, lost, delivered, plp, throughput
+}
+
+// WriteCSV renders the series as CSV (see CSVHeader), one row per
+// (window, cell), windows outermost.
+func WriteCSV(w io.Writer, s *Series) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, CSVHeader)
+	for k := range s.Times {
+		for i := range s.Cells {
+			c := &s.Cells[i]
+			wOff, wLost, wDel, plp, tput := windowRates(s, c, k)
+			fmt.Fprintf(bw, "%s,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d,%s,%s\n",
+				fmtFloat(s.Times[k]), c.Cell,
+				c.PacketsOffered[k], c.PacketsLost[k], c.PacketsDelivered[k], fmtFloat(c.DelaySumSec[k]),
+				c.GSMArrivals[k], c.GSMBlocked[k], c.GPRSArrivals[k], c.GPRSBlocked[k],
+				c.HandoversIn[k], c.HandoversOut[k], c.HandoverArrivals[k], c.HandoverFailures[k],
+				c.QueueLen[k], c.VoiceCalls[k], c.Sessions[k],
+				fmtFloat(c.CarriedData[k]), fmtFloat(c.MeanQueueLen[k]),
+				fmtFloat(c.CarriedVoice[k]), fmtFloat(c.AvgSessions[k]),
+				wOff, wLost, wDel, fmtFloat(plp), fmtFloat(tput))
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonCell is the per-cell payload of one WriteJSONL record.
+type jsonCell struct {
+	Cell             int     `json:"cell"`
+	Offered          int64   `json:"offered_cum"`
+	Lost             int64   `json:"lost_cum"`
+	Delivered        int64   `json:"delivered_cum"`
+	DelaySumSec      float64 `json:"delay_sum_cum_sec"`
+	GSMArrivals      int64   `json:"gsm_arrivals_cum"`
+	GSMBlocked       int64   `json:"gsm_blocked_cum"`
+	GPRSArrivals     int64   `json:"gprs_arrivals_cum"`
+	GPRSBlocked      int64   `json:"gprs_blocked_cum"`
+	HandoversIn      int64   `json:"ho_in_cum"`
+	HandoversOut     int64   `json:"ho_out_cum"`
+	HandoverArrivals int64   `json:"ho_arrivals_cum"`
+	HandoverFailures int64   `json:"ho_failures_cum"`
+	QueueLen         int     `json:"queue_len"`
+	VoiceCalls       int     `json:"voice_calls"`
+	Sessions         int     `json:"sessions"`
+	CarriedData      float64 `json:"carried_data_cum"`
+	MeanQueueLen     float64 `json:"mean_queue_cum"`
+	CarriedVoice     float64 `json:"carried_voice_cum"`
+	AvgSessions      float64 `json:"avg_sessions_cum"`
+	WindowPLP        float64 `json:"window_plp"`
+	WindowThroughput float64 `json:"window_throughput_bits"`
+}
+
+// jsonWindow is one WriteJSONL record: a window-end timestamp plus every
+// cell's sample.
+type jsonWindow struct {
+	TimeSec float64    `json:"time_sec"`
+	Cells   []jsonCell `json:"cells"`
+}
+
+// WriteJSONL renders the series as JSON Lines: one object per window
+// carrying every cell's sample, with the same cumulative/window semantics as
+// the CSV columns.
+func WriteJSONL(w io.Writer, s *Series) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	cells := make([]jsonCell, len(s.Cells))
+	for k := range s.Times {
+		for i := range s.Cells {
+			c := &s.Cells[i]
+			_, _, _, plp, tput := windowRates(s, c, k)
+			cells[i] = jsonCell{
+				Cell:             c.Cell,
+				Offered:          c.PacketsOffered[k],
+				Lost:             c.PacketsLost[k],
+				Delivered:        c.PacketsDelivered[k],
+				DelaySumSec:      c.DelaySumSec[k],
+				GSMArrivals:      c.GSMArrivals[k],
+				GSMBlocked:       c.GSMBlocked[k],
+				GPRSArrivals:     c.GPRSArrivals[k],
+				GPRSBlocked:      c.GPRSBlocked[k],
+				HandoversIn:      c.HandoversIn[k],
+				HandoversOut:     c.HandoversOut[k],
+				HandoverArrivals: c.HandoverArrivals[k],
+				HandoverFailures: c.HandoverFailures[k],
+				QueueLen:         c.QueueLen[k],
+				VoiceCalls:       c.VoiceCalls[k],
+				Sessions:         c.Sessions[k],
+				CarriedData:      c.CarriedData[k],
+				MeanQueueLen:     c.MeanQueueLen[k],
+				CarriedVoice:     c.CarriedVoice[k],
+				AvgSessions:      c.AvgSessions[k],
+				WindowPLP:        plp,
+				WindowThroughput: tput,
+			}
+		}
+		if err := enc.Encode(jsonWindow{TimeSec: s.Times[k], Cells: cells}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

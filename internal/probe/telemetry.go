@@ -1,0 +1,41 @@
+package probe
+
+import (
+	"expvar" // registers /debug/vars on http.DefaultServeMux
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar registers the Default registry's snapshot under the expvar
+// name "gprs". It is idempotent; ServeTelemetry calls it for you.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("gprs", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}
+
+// ServeTelemetry starts the live telemetry endpoint on addr (e.g. ":6060",
+// or ":0" for an ephemeral port) and returns the bound address. The endpoint
+// serves the standard net/http/pprof handlers under /debug/pprof/ and the
+// expvar handler under /debug/vars, whose "gprs" variable is a Snapshot of
+// the Default runtime registry. The server runs on a background goroutine
+// for the life of the process; telemetry is read-only observability, so
+// there is no shutdown handshake.
+func ServeTelemetry(addr string) (string, error) {
+	PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// Serve exits only when the listener closes at process end; the
+		// error is deliberately dropped — telemetry must never take the
+		// simulation down.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -77,6 +77,7 @@ import (
 	"sync"
 
 	"repro/internal/des"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -226,6 +227,11 @@ type Summary struct {
 	// RelativeHalfWidth is the realized relative confidence half-width of
 	// the target measure in the merged results.
 	RelativeHalfWidth float64
+
+	// Series holds the cross-replication merge of the per-replication
+	// sim-time series when the simulator configuration armed a probe
+	// (sim.Config.Probe); nil otherwise.
+	Series *SeriesSummary
 
 	// control-variate state, kept for EffectiveSamples.
 	controls    []float64
@@ -435,12 +441,26 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 		}
 	}
 
+	// Per-replication series slots, allocated to the maximum replication
+	// count the run can reach; nil when no probe is armed. Series travel out
+	// of band next to the results so the merged numbers stay bit-identical
+	// with probes on or off.
+	var seriesByRep []*probe.Series
+	if cfg.Probe != nil {
+		slots := o.Replications
+		if o.Precision > 0 {
+			slots = o.MaxReplications
+		}
+		seriesByRep = make([]*probe.Series, slots)
+	}
+
 	var mu sync.Mutex
 	done := 0
 	// runBatch simulates replications [lo, len(results)) into their slots.
 	// Replication i's configuration depends only on (BaseSeed, i, VR), so
 	// batching — like scheduling — cannot change any result.
 	runBatch := func(results []sim.Results, lo, total int) error {
+		probe.Default.ReplicationsPlanned.Add(uint64(len(results) - lo))
 		return ForEach(outer, len(results)-lo, func(k int) error {
 			i := lo + k
 			c := cfg
@@ -454,11 +474,15 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 			} else {
 				c.Seed = SeedFor(o.BaseSeed, i)
 			}
-			res, err := sim.RunOnce(c, sim.ShardedOptions{Shards: o.Shards, Limiter: lim})
+			res, series, err := sim.RunOnceSeries(c, sim.ShardedOptions{Shards: o.Shards, Limiter: lim})
 			if err != nil {
 				return fmt.Errorf("replication %d: %w", i, err)
 			}
 			results[i] = res
+			if seriesByRep != nil {
+				seriesByRep[i] = series
+			}
+			probe.Default.ReplicationsDone.Add(1)
 			if o.Progress != nil {
 				mu.Lock()
 				done++
@@ -473,6 +497,9 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 		sum.BaseSeed = o.BaseSeed
 		sum.Target = o.Target
 		sum.RelativeHalfWidth = relHalfWidth(o.Target.Interval(sum.Merged))
+		if seriesByRep != nil {
+			sum.Series = MergeSeries(seriesByRep[:sum.Replications], level, o.VR)
+		}
 		return sum
 	}
 
@@ -507,6 +534,7 @@ func Run(cfg sim.Config, o Options) (Summary, error) {
 		}
 		sum = finish(mergeVR(results, level, o.VR, control))
 		sum.Adaptive = true
+		probe.Default.SetAdaptive(sum.RelativeHalfWidth, sum.RelativeHalfWidth <= o.Precision)
 		if sum.RelativeHalfWidth <= o.Precision {
 			sum.Converged = true
 			return sum, nil

@@ -52,6 +52,9 @@ import (
 	"math"
 	"runtime"
 	"slices"
+	"time"
+
+	"repro/internal/probe"
 )
 
 // ErrInvalidEngine is returned for malformed engine configurations.
@@ -118,6 +121,27 @@ type Options struct {
 	// never hold a token while waiting at the window barrier, so sharing a
 	// limiter cannot deadlock.
 	Limiter Limiter
+	// Metrics, when non-nil, receives wall-clock window timings: windows
+	// advanced, messages merged, total window wall time, summed per-shard
+	// advance time, and the barrier wait (the sum over shards of window wall
+	// time minus that shard's own advance time — idle-plus-merge cost). The
+	// engine reads the clock only when Metrics is set, so a disarmed engine
+	// pays nothing. Simulation results are unaffected either way.
+	Metrics *probe.Runtime
+}
+
+// Stats are the cumulative synchronization counters of one engine, tracked
+// unconditionally (they are two integer increments per window): the windows
+// advanced and the cross-process messages merged at their barriers. Together
+// with the models' own flow counters they make the barrier traffic auditable —
+// for internal/sim, MergedMessages must equal the cells' summed handover
+// departures.
+type Stats struct {
+	// Windows is the number of synchronization windows completed.
+	Windows uint64
+	// MergedMessages is the number of cross-process messages merged and
+	// delivered at window barriers.
+	MergedMessages uint64
 }
 
 // Engine advances a set of processes in conservative time windows.
@@ -127,6 +151,7 @@ type Engine struct {
 	groups [][]int // shard index -> process indices
 	now    float64
 	err    error
+	stats  Stats
 
 	merged []Message // reusable barrier buffer
 }
@@ -161,6 +186,9 @@ func (e *Engine) Now() float64 { return e.now }
 // Shards returns the number of process groups advanced in parallel.
 func (e *Engine) Shards() int { return len(e.groups) }
 
+// Stats returns the engine's cumulative synchronization counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
 // AdvanceTo runs windows of at most Lookahead until the engine clock reaches
 // t, exchanging messages at every window barrier. It returns the first
 // synchronization error encountered (and keeps returning it on later calls).
@@ -178,23 +206,35 @@ func (e *Engine) AdvanceTo(t float64) error {
 
 func (e *Engine) advanceSerial(t float64) {
 	out := make([][]Message, 1)
+	adv := make([]time.Duration, 1)
 	// One persistent window buffer: the barrier copies messages into its own
 	// merge buffer before the next window reuses this one.
 	var msgs []Message
 	for e.now < t && e.err == nil {
 		next := math.Min(e.now+e.opt.Lookahead, t)
+		var windowStart, advStart time.Time
+		if e.opt.Metrics != nil {
+			windowStart = time.Now()
+		}
 		if e.opt.Limiter != nil {
 			e.opt.Limiter.Acquire()
+		}
+		if e.opt.Metrics != nil {
+			advStart = time.Now()
 		}
 		msgs = msgs[:0]
 		for _, p := range e.procs {
 			msgs = append(msgs, p.Advance(next)...)
+		}
+		if e.opt.Metrics != nil {
+			adv[0] = time.Since(advStart)
 		}
 		if e.opt.Limiter != nil {
 			e.opt.Limiter.Release()
 		}
 		out[0] = msgs
 		e.barrier(next, out)
+		e.publishWindow(windowStart, adv)
 	}
 }
 
@@ -204,6 +244,7 @@ func (e *Engine) advanceParallel(t float64) {
 	type result struct {
 		shard int
 		msgs  []Message
+		adv   time.Duration
 	}
 	results := make(chan result, n)
 	for i, group := range e.groups {
@@ -217,14 +258,22 @@ func (e *Engine) advanceParallel(t float64) {
 				if e.opt.Limiter != nil {
 					e.opt.Limiter.Acquire()
 				}
+				var advStart time.Time
+				if e.opt.Metrics != nil {
+					advStart = time.Now()
+				}
 				msgs = msgs[:0]
 				for _, pi := range group {
 					msgs = append(msgs, e.procs[pi].Advance(next)...)
 				}
+				var adv time.Duration
+				if e.opt.Metrics != nil {
+					adv = time.Since(advStart)
+				}
 				if e.opt.Limiter != nil {
 					e.opt.Limiter.Release()
 				}
-				results <- result{shard, msgs}
+				results <- result{shard, msgs, adv}
 			}
 		}(i, group, cmds[i])
 	}
@@ -235,17 +284,47 @@ func (e *Engine) advanceParallel(t float64) {
 	}()
 
 	out := make([][]Message, n)
+	adv := make([]time.Duration, n)
 	for e.now < t && e.err == nil {
 		next := math.Min(e.now+e.opt.Lookahead, t)
+		var windowStart time.Time
+		if e.opt.Metrics != nil {
+			windowStart = time.Now()
+		}
 		for _, cmd := range cmds {
 			cmd <- next
 		}
 		for i := 0; i < n; i++ {
 			r := <-results
 			out[r.shard] = r.msgs
+			adv[r.shard] = r.adv
 		}
 		e.barrier(next, out)
+		e.publishWindow(windowStart, adv)
 	}
+}
+
+// publishWindow pushes one finished window's wall timings into the metrics
+// registry: total window wall time, the summed per-shard advance time, and
+// the barrier wait — for every shard, the window wall time minus that shard's
+// own advance work (time spent idle at the barrier, waiting on slower shards
+// and the merge). No-op without an armed Metrics registry.
+func (e *Engine) publishWindow(windowStart time.Time, adv []time.Duration) {
+	m := e.opt.Metrics
+	if m == nil {
+		return
+	}
+	window := time.Since(windowStart)
+	var advSum, wait time.Duration
+	for _, a := range adv {
+		advSum += a
+		if w := window - a; w > 0 {
+			wait += w
+		}
+	}
+	m.WindowNanos.Add(uint64(window.Nanoseconds()))
+	m.AdvanceNanos.Add(uint64(advSum.Nanoseconds()))
+	m.BarrierWaitNanos.Add(uint64(wait.Nanoseconds()))
 }
 
 // barrier merges the messages of one finished window in deterministic order
@@ -254,6 +333,12 @@ func (e *Engine) barrier(windowEnd float64, out [][]Message) {
 	e.merged = e.merged[:0]
 	for _, msgs := range out {
 		e.merged = append(e.merged, msgs...)
+	}
+	e.stats.Windows++
+	e.stats.MergedMessages += uint64(len(e.merged))
+	if m := e.opt.Metrics; m != nil {
+		m.WindowsAdvanced.Add(1)
+		m.MessagesMerged.Add(uint64(len(e.merged)))
 	}
 	// slices.SortFunc rather than sort.Slice: the latter goes through
 	// reflection and allocates per call, which would put the barrier on the

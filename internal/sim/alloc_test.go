@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/probe"
 	"repro/internal/traffic"
 )
 
@@ -76,6 +77,75 @@ func TestSerialSteadyStateAllocs(t *testing.T) {
 	if perEvent > 0.001 {
 		t.Errorf("serial hot path allocates %.5f allocs/event (%.0f events/window), want 0",
 			perEvent, eventsPerRun)
+	}
+}
+
+// TestProbeArmedSteadyStateAllocs pins the observability contract of the
+// probe layer: with the time-series probes armed — shadow gauges live on
+// every cell, the sampler recording a window every 25 s — the steady-state
+// hot path must stay within the same (essentially zero) allocation budget as
+// the unprobed engines. All series buffers are preallocated at arm time, so
+// sampling appends within capacity and the shadow gauge updates are plain
+// field writes. Checked on the serial engine and on the 1-shard sharded
+// engine (the full window/barrier machinery on the calling goroutine, where
+// the budget is exact).
+func TestProbeArmedSteadyStateAllocs(t *testing.T) {
+	const start, window = 2000.0, 500.0
+	const final = start + 6*window // one warm-up run plus 5 measured runs
+	type engine struct {
+		name     string
+		advance  func(to float64) error
+		events   func() uint64
+		ps       *probeState
+		perCells func() []*cell
+	}
+	build := func(name string, shards int) engine {
+		cfg := allocPinConfig(7)
+		cfg.Probe = &probe.Spec{IntervalSec: 25}
+		if shards == 0 {
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return engine{name: name,
+				advance: func(to float64) error { return advanceProbed(s, s.pstate, to) },
+				events:  s.eng.ProcessedEvents, ps: s.pstate,
+				perCells: func() []*cell { return s.cells }}
+		}
+		s, err := NewSharded(cfg, ShardedOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine{name: name,
+			advance: func(to float64) error { return advanceProbed(s, s.pstate, to) },
+			events:  s.processedEvents, ps: s.pstate,
+			perCells: func() []*cell { return s.cells }}
+	}
+	for _, e := range []engine{build("serial", 0), build("sharded1", 1)} {
+		for _, c := range e.perCells() {
+			c.start()
+		}
+		if err := e.advance(start); err != nil {
+			t.Fatal(err)
+		}
+		e.ps.arm(start, final)
+		perEvent, eventsPerRun := measureAllocsPerEvent(t,
+			func(to float64) {
+				if err := e.advance(to); err != nil {
+					t.Fatal(err)
+				}
+			},
+			e.events, start, window)
+		if eventsPerRun < 1000 {
+			t.Fatalf("%s: only %.0f events per window; the pin would be vacuous", e.name, eventsPerRun)
+		}
+		if perEvent > 0.001 {
+			t.Errorf("%s: probe-armed hot path allocates %.5f allocs/event (%.0f events/window), want 0",
+				e.name, perEvent, eventsPerRun)
+		}
+		if got, want := e.ps.series.Windows(), int(final-start)/25; got != want {
+			t.Fatalf("%s: %d windows sampled, want %d", e.name, got, want)
+		}
 	}
 }
 

@@ -161,6 +161,12 @@ type cell struct {
 	voiceOcc  stats.TimeWeighted
 	sessOcc   stats.TimeWeighted
 
+	// pr, when non-nil, is the armed probe's shadow gauge set for this cell:
+	// every time-weighted update below is mirrored into it with the same
+	// (time, value) pair, so the probe can read windowed means without ever
+	// touching the model accumulators (see probeGauges).
+	pr *probeGauges
+
 	packetsOffered   int64
 	packetsLost      int64
 	packetsDelivered int64
@@ -470,21 +476,33 @@ func (c *cell) canAdmitSession() bool {
 func (c *cell) addVoice() {
 	c.voiceCalls++
 	c.voiceOcc.Update(c.now(), float64(c.voiceCalls))
+	if c.pr != nil {
+		c.pr.voice.Update(c.now(), float64(c.voiceCalls))
+	}
 }
 
 func (c *cell) removeVoice() {
 	c.voiceCalls--
 	c.voiceOcc.Update(c.now(), float64(c.voiceCalls))
+	if c.pr != nil {
+		c.pr.voice.Update(c.now(), float64(c.voiceCalls))
+	}
 }
 
 func (c *cell) addSession() {
 	c.sessions++
 	c.sessOcc.Update(c.now(), float64(c.sessions))
+	if c.pr != nil {
+		c.pr.sess.Update(c.now(), float64(c.sessions))
+	}
 }
 
 func (c *cell) removeSession() {
 	c.sessions--
 	c.sessOcc.Update(c.now(), float64(c.sessions))
+	if c.pr != nil {
+		c.pr.sess.Update(c.now(), float64(c.sessions))
+	}
 }
 
 // enqueue offers a packet to the BSC buffer. It returns false when the buffer
@@ -500,6 +518,9 @@ func (c *cell) enqueue(p *packet) bool {
 	p.blocksLeft = c.env.radioBlocksPerPacket()
 	c.buffer = append(c.buffer, p)
 	c.queueLen.Update(c.now(), float64(len(c.buffer)))
+	if c.pr != nil {
+		c.pr.queue.Update(c.now(), float64(len(c.buffer)))
+	}
 	c.ensureTick()
 	return true
 }
@@ -521,6 +542,9 @@ func (c *cell) radioTick() {
 	c.tickScheduled = false
 	if len(c.buffer) == 0 {
 		c.pdchUsage.Update(c.now(), 0)
+		if c.pr != nil {
+			c.pr.pdch.Update(c.now(), 0)
+		}
 		return
 	}
 
@@ -543,6 +567,9 @@ func (c *cell) radioTick() {
 		used += alloc
 	}
 	c.pdchUsage.Update(c.now(), float64(used))
+	if c.pr != nil {
+		c.pr.pdch.Update(c.now(), float64(used))
+	}
 
 	// Deliver packets whose last block has just been transmitted. Service is
 	// head-of-line first, so finished packets form a prefix of the buffer.
@@ -562,12 +589,18 @@ func (c *cell) radioTick() {
 	}
 	c.buffer = remaining
 	c.queueLen.Update(now, float64(len(c.buffer)))
+	if c.pr != nil {
+		c.pr.queue.Update(now, float64(len(c.buffer)))
+	}
 
 	if len(c.buffer) > 0 {
 		c.tickScheduled = true
 		c.schedule(blockPeriodSec, c.radioTickFn)
 	} else {
 		c.pdchUsage.Update(now, 0)
+		if c.pr != nil {
+			c.pr.pdch.Update(now, 0)
+		}
 	}
 }
 

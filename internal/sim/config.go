@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/probe"
 	"repro/internal/radio"
 	"repro/internal/tcp"
 	"repro/internal/traffic"
@@ -111,6 +112,14 @@ type Config struct {
 	// des.CalendarQueue selects the Brown calendar queue. Every kind produces
 	// bit-identical results — the choice affects performance only.
 	EventQueue des.QueueKind
+
+	// Probe, when non-nil, arms the deterministic sim-time series probe: the
+	// run records every cell's counters and time-averaged gauges at fixed
+	// window boundaries of Probe.IntervalSec across the measurement period.
+	// Arming never changes a single bit of the Results (see the determinism
+	// contract of package probe); the recorded series travels out of band,
+	// via Simulator.Series, Sharded.Series, or RunOnceSeries.
+	Probe *probe.Spec
 }
 
 // DefaultConfig returns the simulator configuration matching the base
@@ -215,6 +224,15 @@ func (c Config) Validate() error {
 	}
 	if c.EnableTCP {
 		if err := c.TCP.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	if c.Probe != nil {
+		measurement := c.MeasurementSec
+		if measurement <= 0 {
+			measurement = 20000 // withDefaults applies the same fallback
+		}
+		if err := c.Probe.Validate(measurement); err != nil {
 			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 		}
 	}

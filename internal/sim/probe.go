@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"repro/internal/probe"
+	"repro/internal/stats"
+)
+
+// probeGauges is the shadow measurement state of one cell while a probe is
+// armed: private copies of the four time-weighted statistics, updated
+// alongside the model's own accumulators at the same (time, value) points.
+// The probe samples these shadows with the non-mutating stats.MeanAt, never
+// the model accumulators — reading those mid-run would advance their
+// internal integrals and perturb the terminal aggregates by ulps, breaking
+// the bit-identity contract (see the determinism contract of package probe).
+// Because the shadows receive exactly the model's update sequence and are
+// started with the model's measurement-window values, their final MeanAt at
+// the measurement end reproduces a non-mid cell's terminal PerCell gauges
+// bit for bit.
+type probeGauges struct {
+	pdch, queue, voice, sess stats.TimeWeighted
+}
+
+// probeState drives the sim-time series sampling of one run: window
+// boundaries, per-cell counter baselines, shadow gauges, and the recorded
+// series. It is created at engine construction when Config.Probe is set and
+// armed by collectRun at the end of the warm-up.
+type probeState struct {
+	spec   probe.Spec
+	cells  []*cell
+	series *probe.Series
+
+	gauges []probeGauges
+	counts []cellSnapshot
+	hos    []hoSnapshot
+
+	startT, finalT float64
+	armed, done    bool
+	sampled        int
+}
+
+func newProbeState(spec probe.Spec, cells []*cell) *probeState {
+	return &probeState{spec: spec, cells: cells}
+}
+
+// arm begins recording at the measurement start: it snapshots every cell's
+// cumulative counters as baselines, starts the shadow gauges with the same
+// (time, value) origins the model's resetBatchWindow just used, and
+// preallocates the full series so sampling never allocates. start and final
+// must be the measurement-loop's exact warm-up end and final batch end.
+func (ps *probeState) arm(start, final float64) {
+	ps.startT, ps.finalT = start, final
+	capacity := ps.spec.Windows(final - start)
+	ps.series = probe.NewSeries(len(ps.cells), ps.spec.IntervalSec, start, capacity)
+	ps.gauges = make([]probeGauges, len(ps.cells))
+	ps.counts = make([]cellSnapshot, len(ps.cells))
+	ps.hos = make([]hoSnapshot, len(ps.cells))
+	for i, c := range ps.cells {
+		g := &ps.gauges[i]
+		g.pdch.Start(start, c.pdchUsage.Current())
+		g.queue.Start(start, float64(len(c.buffer)))
+		g.voice.Start(start, float64(c.voiceCalls))
+		g.sess.Start(start, float64(c.sessions))
+		c.pr = g
+		ps.counts[i] = c.snapshot()
+		ps.hos[i] = c.handoverSnapshot()
+	}
+	ps.armed = true
+}
+
+// nextBoundary returns the next window-end sample time, clamped to the
+// measurement end, or ok=false once every window has been sampled (or the
+// probe is not armed yet).
+func (ps *probeState) nextBoundary() (t float64, ok bool) {
+	if !ps.armed || ps.done {
+		return 0, false
+	}
+	t = ps.startT + float64(ps.sampled+1)*ps.spec.IntervalSec
+	if t >= ps.finalT {
+		t = ps.finalT
+	}
+	return t, true
+}
+
+// sample records one window at time t (every cell's engine clock is at t).
+// All appends land in preallocated capacity: the armed sampler path performs
+// no allocations.
+func (ps *probeState) sample(t float64) {
+	s := ps.series
+	s.Times = append(s.Times, t)
+	for i, c := range ps.cells {
+		cs := &s.Cells[i]
+		g := &ps.gauges[i]
+		base := &ps.counts[i]
+		hbase := &ps.hos[i]
+		cs.PacketsOffered = append(cs.PacketsOffered, c.packetsOffered-base.offered)
+		cs.PacketsLost = append(cs.PacketsLost, c.packetsLost-base.lost)
+		cs.PacketsDelivered = append(cs.PacketsDelivered, c.packetsDelivered-base.delivered)
+		cs.DelaySumSec = append(cs.DelaySumSec, c.delaySum-base.delaySum)
+		cs.GSMArrivals = append(cs.GSMArrivals, c.gsmArrivals-base.gsmArrivals)
+		cs.GSMBlocked = append(cs.GSMBlocked, c.gsmBlocked-base.gsmBlocked)
+		cs.GPRSArrivals = append(cs.GPRSArrivals, c.gprsArrivals-base.gprsArrivals)
+		cs.GPRSBlocked = append(cs.GPRSBlocked, c.gprsBlocked-base.gprsBlocked)
+		cs.HandoversIn = append(cs.HandoversIn, c.handoversIn-hbase.in)
+		cs.HandoversOut = append(cs.HandoversOut, c.handoversOut-hbase.out)
+		cs.HandoverArrivals = append(cs.HandoverArrivals, c.handoverArrivals-hbase.arrivals)
+		cs.HandoverFailures = append(cs.HandoverFailures, c.handoverFailures-hbase.failures)
+		cs.QueueLen = append(cs.QueueLen, len(c.buffer))
+		cs.VoiceCalls = append(cs.VoiceCalls, c.voiceCalls)
+		cs.Sessions = append(cs.Sessions, c.sessions)
+		cs.CarriedData = append(cs.CarriedData, g.pdch.MeanAt(t))
+		cs.MeanQueueLen = append(cs.MeanQueueLen, g.queue.MeanAt(t))
+		cs.CarriedVoice = append(cs.CarriedVoice, g.voice.MeanAt(t))
+		cs.AvgSessions = append(cs.AvgSessions, g.sess.MeanAt(t))
+	}
+	ps.sampled++
+	if t == ps.finalT {
+		ps.done = true
+	}
+}
+
+// advanceProbed advances the engine to time `to`, stopping at every pending
+// probe window boundary on the way to sample the cells there. With a nil
+// probe state this is exactly e.advanceTo(to). The extra intermediate
+// advance targets repartition the engine's work without changing it: the
+// serial calendar pops the same total event order either way, and the
+// sharded engine's conservative windows deliver the same messages in the
+// same deterministically merged order (pinned empirically by the
+// probes-armed column of TestGoldenResultDigests).
+func advanceProbed(e engineCore, ps *probeState, to float64) error {
+	if ps == nil {
+		return e.advanceTo(to)
+	}
+	for {
+		t, ok := ps.nextBoundary()
+		if !ok || t > to {
+			break
+		}
+		if err := e.advanceTo(t); err != nil {
+			return err
+		}
+		ps.sample(t)
+	}
+	return e.advanceTo(to)
+}

@@ -1,0 +1,287 @@
+// Determinism and exactness contracts of the in-run probe layer (package
+// probe wired through Config.Probe): arming the time-series probes must not
+// change a single bit of the results on either engine, the recorded series
+// must reproduce the terminal per-cell aggregates exactly when integrated
+// over the run, and the shard engine's barrier counters must balance against
+// the handover-flow ledger.
+package sim_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/probe"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// mustRunSeries runs a probe-armed configuration and returns results plus the
+// recorded series.
+func mustRunSeries(t *testing.T, cfg sim.Config, shards int) (sim.Results, *probe.Series) {
+	t.Helper()
+	res, ser, err := sim.RunOnceSeries(cfg, sim.ShardedOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser == nil {
+		t.Fatal("probe armed but no series recorded")
+	}
+	return res, ser
+}
+
+// TestGoldenResultDigestsProbesArmed is the probes-enabled column of the
+// golden digest table: with Config.Probe set — and its windows deliberately
+// misaligned with the batch boundaries, so the measurement loop's advance
+// targets are repartitioned — every preset on both engines and both event
+// queues must still reproduce the exact seed digests of the probes-off runs.
+// This pins the probe determinism contract (no model events, no extra draws,
+// shadow-only accumulators) bit for bit. -short restricts the table to the
+// seven-cell cluster on the default heap queue, mirroring the probes-off
+// test.
+func TestGoldenResultDigestsProbesArmed(t *testing.T) {
+	queues := []des.QueueKind{des.HeapQueue, des.CalendarQueue}
+	if testing.Short() {
+		queues = queues[:1]
+	}
+	for _, g := range goldenDigests {
+		if g.cells != 7 && testing.Short() {
+			continue
+		}
+		t.Run(fmt.Sprintf("%s/%dcells", g.name, g.cells), func(t *testing.T) {
+			for _, queue := range queues {
+				for _, shards := range []int{1, 4} {
+					cfg := goldenConfig(t, g.name, g.cells)
+					cfg.EventQueue = queue
+					// 37.5 s does not divide the 120 s batch length: probe
+					// boundaries interleave with batch ends.
+					cfg.Probe = &probe.Spec{IntervalSec: 37.5}
+					res, ser := mustRunSeries(t, cfg, shards)
+					if got := resultsDigest(res); got != g.want {
+						t.Errorf("queue %d, %d shard(s): probes-armed digest %s, want seed digest %s",
+							queue, shards, got, g.want)
+					}
+					if ser.Windows() != 16 {
+						t.Errorf("queue %d, %d shard(s): %d windows recorded, want 16",
+							queue, shards, ser.Windows())
+					}
+					if last := ser.Times[ser.Windows()-1]; last != cfg.WarmupSec+cfg.MeasurementSec {
+						t.Errorf("queue %d, %d shard(s): last window at %v, want %v",
+							queue, shards, last, cfg.WarmupSec+cfg.MeasurementSec)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeriesMatchesPerCellAggregates is the exactness contract of the series:
+// the final (clamped) window's cumulative counters equal the terminal PerCell
+// totals bit for bit, the derived ratios (blocking, loss, delay, throughput)
+// reproduce the report's formulas exactly, and the shadow-gauge means match
+// the terminal time averages — bitwise for non-mid cells, to rounding for the
+// mid cell (whose report value is the batch-means mean over equal-length
+// batches, an algebraically equal but differently associated sum). The
+// recorded series itself must be bit-identical across engines.
+func TestSeriesMatchesPerCellAggregates(t *testing.T) {
+	cfg := scenarioQuickConfig(t, 7)
+	// 70 s does not divide the 600 s measurement: the final window is clamped
+	// short, the hardest case of the aggregation.
+	cfg.Probe = &probe.Spec{IntervalSec: 70}
+	res, ser := mustRunSeries(t, cfg, 1)
+
+	_, serSharded := mustRunSeries(t, cfg, 4)
+	if !reflect.DeepEqual(ser, serSharded) {
+		t.Error("recorded series differs between serial and sharded engines")
+	}
+
+	k := ser.Windows() - 1
+	if k < 1 || ser.Times[k] != cfg.WarmupSec+cfg.MeasurementSec {
+		t.Fatalf("degenerate series: %d windows, last at %v", ser.Windows(), ser.Times[k])
+	}
+	for i, m := range res.PerCell {
+		cs := &ser.Cells[i]
+		ints := []struct {
+			name      string
+			got, want int64
+		}{
+			{"offered", cs.PacketsOffered[k], m.PacketsOffered},
+			{"lost", cs.PacketsLost[k], m.PacketsLost},
+			{"delivered", cs.PacketsDelivered[k], m.PacketsDelivered},
+			{"ho in", cs.HandoversIn[k], m.HandoversIn},
+			{"ho out", cs.HandoversOut[k], m.HandoversOut},
+			{"ho arrivals", cs.HandoverArrivals[k], m.HandoverArrivals},
+			{"ho failures", cs.HandoverFailures[k], m.HandoverFailures},
+		}
+		for _, c := range ints {
+			if c.got != c.want {
+				t.Errorf("cell %d: final cumulative %s %d, want terminal total %d", i, c.name, c.got, c.want)
+			}
+		}
+		// Derived ratios: same operands, same expressions as perCellMeasures.
+		if cs.PacketsOffered[k] > 0 {
+			if plp := float64(cs.PacketsLost[k]) / float64(cs.PacketsOffered[k]); plp != m.PacketLossProbability {
+				t.Errorf("cell %d: series PLP %v, want %v", i, plp, m.PacketLossProbability)
+			}
+		}
+		if cs.PacketsDelivered[k] > 0 {
+			if d := cs.DelaySumSec[k] / float64(cs.PacketsDelivered[k]); d != m.QueueingDelaySec {
+				t.Errorf("cell %d: series delay %v, want %v", i, d, m.QueueingDelaySec)
+			}
+		}
+		if tput := float64(cs.PacketsDelivered[k]) * float64(traffic.PacketSizeBits) / cfg.MeasurementSec; tput != m.ThroughputBits {
+			t.Errorf("cell %d: series throughput %v, want %v", i, tput, m.ThroughputBits)
+		}
+		if cs.GSMArrivals[k] > 0 {
+			if b := float64(cs.GSMBlocked[k]) / float64(cs.GSMArrivals[k]); b != m.GSMBlocking {
+				t.Errorf("cell %d: series GSM blocking %v, want %v", i, b, m.GSMBlocking)
+			}
+		}
+		gauges := []struct {
+			name      string
+			got, want float64
+		}{
+			{"CDT", cs.CarriedData[k], m.CarriedDataTraffic},
+			{"queue", cs.MeanQueueLen[k], m.MeanQueueLength},
+			{"CVT", cs.CarriedVoice[k], m.CarriedVoiceTraffic},
+			{"AGS", cs.AvgSessions[k], m.AverageSessions},
+		}
+		// The mid cell's report gauge is the mean of per-batch time averages,
+		// and radio-block completions stamp updates up to one block period
+		// (20 ms) past each batch boundary: each batch window is normalized
+		// over its slightly extended span, so the batch-means mean differs
+		// from the single whole-window average by O(blockPeriod/batchDur)
+		// boundary slop — an estimator property of the report, not probe
+		// drift. Every other cell keeps one window for the whole measurement,
+		// where shadow and model accumulators hold identical state and the
+		// means must agree bit for bit.
+		for _, g := range gauges {
+			if i == cluster.MidCell {
+				if diff := math.Abs(g.got - g.want); diff > 1e-3*math.Max(1, math.Abs(g.want)) {
+					t.Errorf("mid cell: series %s mean %v vs batch-means %v (diff %g)", g.name, g.got, g.want, diff)
+				}
+			} else if g.got != g.want {
+				t.Errorf("cell %d: series %s mean %v, want terminal %v bit-identically", i, g.name, g.got, g.want)
+			}
+		}
+		// Cumulative counters never decrease across windows.
+		for w := 1; w <= k; w++ {
+			if cs.PacketsOffered[w] < cs.PacketsOffered[w-1] || cs.HandoversOut[w] < cs.HandoversOut[w-1] {
+				t.Fatalf("cell %d: cumulative counters decreased at window %d", i, w)
+			}
+		}
+	}
+
+	checkSeriesCSVRoundTrip(t, ser, res, cfg.MeasurementSec)
+}
+
+// checkSeriesCSVRoundTrip pins the CSV exporter against the same terminal
+// aggregates: the written file's final rows must parse back to the exact
+// per-cell totals (floats are written in shortest round-trip form).
+func checkSeriesCSVRoundTrip(t *testing.T, ser *probe.Series, res sim.Results, measurementSec float64) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := probe.WriteCSV(&buf, ser); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + ser.Windows()*len(ser.Cells)
+	if len(rows) != wantRows {
+		t.Fatalf("CSV has %d rows, want %d", len(rows), wantRows)
+	}
+	col := map[string]int{}
+	for j, name := range rows[0] {
+		col[name] = j
+	}
+	mustInt := func(row []string, name string) int64 {
+		v, err := strconv.ParseInt(row[col[name]], 10, 64)
+		if err != nil {
+			t.Fatalf("column %s: %v", name, err)
+		}
+		return v
+	}
+	mustFloat := func(row []string, name string) float64 {
+		v, err := strconv.ParseFloat(row[col[name]], 64)
+		if err != nil {
+			t.Fatalf("column %s: %v", name, err)
+		}
+		return v
+	}
+	// The final Windows()th block holds one row per cell.
+	for i, m := range res.PerCell {
+		row := rows[1+(ser.Windows()-1)*len(ser.Cells)+i]
+		if got := mustInt(row, "cell"); got != int64(m.Cell) {
+			t.Fatalf("final block row %d is cell %d, want %d", i, got, m.Cell)
+		}
+		if got := mustInt(row, "offered_cum"); got != m.PacketsOffered {
+			t.Errorf("cell %d: CSV offered_cum %d, want %d", i, got, m.PacketsOffered)
+		}
+		if got := mustInt(row, "ho_arrivals_cum"); got != m.HandoverArrivals {
+			t.Errorf("cell %d: CSV ho_arrivals_cum %d, want %d", i, got, m.HandoverArrivals)
+		}
+		if got := mustFloat(row, "carried_voice_cum"); got != ser.Cells[i].CarriedVoice[ser.Windows()-1] {
+			t.Errorf("cell %d: CSV carried_voice_cum did not round-trip: %v", i, got)
+		}
+		wantTput := float64(m.PacketsDelivered) * float64(traffic.PacketSizeBits) / measurementSec
+		if got := mustFloat(row, "window_throughput_bits"); ser.Windows() == 1 && got != wantTput {
+			t.Errorf("cell %d: CSV window throughput %v, want %v", i, got, wantTput)
+		}
+	}
+}
+
+// TestShardBarrierMessageConservation ties the shard engine's new barrier
+// counters to the handover-flow ledger: on a drained, gated run (the
+// handover-conservation workload) every dispatched handover is merged at
+// exactly one window barrier, so Stats().MergedMessages equals the cells'
+// summed handover departures — which the conservation suite already proves
+// equal to the summed arrivals.
+func TestShardBarrierMessageConservation(t *testing.T) {
+	preset, err := scenario.Preset("hotspot-pedestrian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := conservationConfig(t, 7)
+	if _, err := scenario.Apply(&cfg, gated(preset)); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		e, err := sim.NewSharded(cfg, sim.ShardedOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out, arrivals int64
+		for _, m := range res.PerCell {
+			out += m.HandoversOut
+			arrivals += m.HandoverArrivals
+		}
+		if out == 0 {
+			t.Fatal("degenerate run: no handovers at all")
+		}
+		if out != arrivals {
+			t.Fatalf("%d shards: ledger unbalanced before the barrier check: %d out, %d arrivals",
+				shards, out, arrivals)
+		}
+		st := e.ShardStats()
+		if st.Windows == 0 {
+			t.Errorf("%d shards: no windows counted", shards)
+		}
+		if st.MergedMessages != uint64(out) {
+			t.Errorf("%d shards: %d messages merged at barriers, want the %d handover departures",
+				shards, st.MergedMessages, out)
+		}
+	}
+}

@@ -106,64 +106,74 @@ func resultsDigest(r sim.Results) string {
 	return fmt.Sprintf("%x", sum[:8])
 }
 
-// TestGoldenResultDigests pins the exact seed results bit for bit: the
-// digests below were captured from the pre-pooling engines (before the
-// allocation-free refactor of PR 6), so any refactor that changes a single
-// draw, merge order, or accumulation anywhere in the engine stack fails this
-// test. Every scenario preset (plus the profile-less baseline) runs on both
-// the serial and the 4-shard engine and on both event-list implementations
-// (binary heap and calendar queue) — all four paths must reproduce the same
-// golden digest. -short restricts the table to the seven-cell cluster and
-// drops the calendar-queue leg.
-func TestGoldenResultDigests(t *testing.T) {
-	golden := []struct {
-		name  string
-		cells int
-		want  string
-	}{
-		{"baseline", 7, "376bb835b94d2c74"},
-		{"busyhour", 7, "376bb835b94d2c74"},
-		{"gradient", 7, "8720d676deb0ee6a"},
-		{"highway", 7, "3741d8a80cf26d3f"},
-		{"hotspot", 7, "a542d02aacfa96b6"},
-		{"hotspot-busyhour", 7, "a542d02aacfa96b6"},
-		{"hotspot-pedestrian", 7, "145418b789b66619"},
-		{"uniform", 7, "376bb835b94d2c74"},
-		{"baseline", 19, "e13fac49d065e27d"},
-		{"busyhour", 19, "e13fac49d065e27d"},
-		{"gradient", 19, "47101153fd9c2d70"},
-		{"highway", 19, "d8651dfd2d1d0c4b"},
-		{"hotspot", 19, "4ba63ac108da097b"},
-		{"hotspot-busyhour", 19, "4ba63ac108da097b"},
-		{"hotspot-pedestrian", 19, "08d216e5f2a6cf9c"},
-		{"uniform", 19, "e13fac49d065e27d"},
+// goldenDigests pins the exact seed results of scenarioQuickConfig runs bit
+// for bit: the digests were captured from the pre-pooling engines (before the
+// allocation-free refactor of PR 6). The busyhour ramp steps after the quick
+// config's horizon and the uniform scenario is the identity, so their digests
+// legitimately equal the baseline's — the table keeps them as separate rows so
+// a future config change that moves the horizon shows up. The table is shared
+// by TestGoldenResultDigests (probes off) and TestGoldenResultDigestsProbesArmed
+// (probes on): both columns must reproduce the same digests.
+var goldenDigests = []struct {
+	name  string
+	cells int
+	want  string
+}{
+	{"baseline", 7, "376bb835b94d2c74"},
+	{"busyhour", 7, "376bb835b94d2c74"},
+	{"gradient", 7, "8720d676deb0ee6a"},
+	{"highway", 7, "3741d8a80cf26d3f"},
+	{"hotspot", 7, "a542d02aacfa96b6"},
+	{"hotspot-busyhour", 7, "a542d02aacfa96b6"},
+	{"hotspot-pedestrian", 7, "145418b789b66619"},
+	{"uniform", 7, "376bb835b94d2c74"},
+	{"baseline", 19, "e13fac49d065e27d"},
+	{"busyhour", 19, "e13fac49d065e27d"},
+	{"gradient", 19, "47101153fd9c2d70"},
+	{"highway", 19, "d8651dfd2d1d0c4b"},
+	{"hotspot", 19, "4ba63ac108da097b"},
+	{"hotspot-busyhour", 19, "4ba63ac108da097b"},
+	{"hotspot-pedestrian", 19, "08d216e5f2a6cf9c"},
+	{"uniform", 19, "e13fac49d065e27d"},
+}
+
+// goldenConfig assembles the pinned run of one goldenDigests row.
+func goldenConfig(t *testing.T, name string, cells int) sim.Config {
+	t.Helper()
+	cfg := scenarioQuickConfig(t, cells)
+	if name != "baseline" {
+		spec, err := scenario.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := scenario.Apply(&cfg, spec); err != nil {
+			t.Fatal(err)
+		}
 	}
-	// The busyhour ramp steps after this quick config's horizon and the
-	// uniform scenario is the identity, so their digests legitimately equal
-	// the baseline's — the table keeps them as separate rows so a future
-	// config change that moves the horizon shows up.
+	return cfg
+}
+
+// TestGoldenResultDigests pins the exact seed results bit for bit: any
+// refactor that changes a single draw, merge order, or accumulation anywhere
+// in the engine stack fails this test. Every scenario preset (plus the
+// profile-less baseline) runs on both the serial and the 4-shard engine and
+// on both event-list implementations (binary heap and calendar queue) — all
+// four paths must reproduce the same golden digest. -short restricts the
+// table to the seven-cell cluster and drops the calendar-queue leg.
+func TestGoldenResultDigests(t *testing.T) {
 	queues := []des.QueueKind{des.HeapQueue, des.CalendarQueue}
 	if testing.Short() {
 		queues = queues[:1]
 	}
-	for _, g := range golden {
+	for _, g := range goldenDigests {
 		if g.cells != 7 && testing.Short() {
 			continue
 		}
 		t.Run(fmt.Sprintf("%s/%dcells", g.name, g.cells), func(t *testing.T) {
 			for _, queue := range queues {
 				for _, shards := range []int{1, 4} {
-					cfg := scenarioQuickConfig(t, g.cells)
+					cfg := goldenConfig(t, g.name, g.cells)
 					cfg.EventQueue = queue
-					if g.name != "baseline" {
-						spec, err := scenario.Preset(g.name)
-						if err != nil {
-							t.Fatal(err)
-						}
-						if _, err := scenario.Apply(&cfg, spec); err != nil {
-							t.Fatal(err)
-						}
-					}
 					res := mustRun(t, cfg, shards)
 					if got := resultsDigest(res); got != g.want {
 						t.Errorf("queue %d, %d shard(s): digest %s, want seed digest %s",

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/probe"
 	"repro/internal/shard"
 )
 
@@ -36,6 +37,7 @@ type Sharded struct {
 	cells  []*cell
 	procs  []*cellProc
 	engine *shard.Engine
+	pstate *probeState
 }
 
 // cellProc adapts one cell (with its private calendar) to the shard engine's
@@ -124,6 +126,33 @@ func RunOnce(cfg Config, opt ShardedOptions) (Results, error) {
 	return s.Run()
 }
 
+// RunOnceSeries is RunOnce with the recorded sim-time series returned
+// alongside the results. The series is nil when cfg.Probe is unset; the
+// Results are bit-identical to RunOnce's either way (the probe's determinism
+// contract). Like RunOnce it is single-use per call: it builds a fresh engine.
+func RunOnceSeries(cfg Config, opt ShardedOptions) (Results, *probe.Series, error) {
+	if opt.Shards > 1 {
+		e, err := NewSharded(cfg, opt)
+		if err != nil {
+			return Results{}, nil, err
+		}
+		res, err := e.Run()
+		if err != nil {
+			return Results{}, nil, err
+		}
+		return res, e.Series(), nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return Results{}, nil, err
+	}
+	return res, s.Series(), nil
+}
+
 // NewSharded validates the configuration and builds a sharded simulator. Like
 // a Simulator it is single-use; Run may use up to Shards goroutines.
 func NewSharded(cfg Config, opt ShardedOptions) (*Sharded, error) {
@@ -143,11 +172,15 @@ func NewSharded(cfg Config, opt ShardedOptions) (*Sharded, error) {
 		Lookahead: s.config.HandoverLatencySec,
 		Shards:    opt.Shards,
 		Limiter:   opt.Limiter,
+		Metrics:   probe.Default,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	s.engine = engine
+	if s.config.Probe != nil {
+		s.pstate = newProbeState(*s.config.Probe, s.cells)
+	}
 	return s, nil
 }
 
@@ -164,9 +197,25 @@ func (s *Sharded) Shards() int { return s.engine.Shards() }
 // results.
 func (s *Sharded) Run() (Results, error) { return collectRun(s) }
 
+// Series returns the sim-time series recorded by the run, or nil when
+// Config.Probe was unset (or Run has not executed yet).
+func (s *Sharded) Series() *probe.Series {
+	if s.pstate == nil {
+		return nil
+	}
+	return s.pstate.series
+}
+
+// ShardStats returns the shard engine's cumulative synchronization counters:
+// windows advanced and handover messages merged at window barriers. Every
+// cross-cell handover travels as exactly one barrier message, so
+// MergedMessages equals the cells' summed handover departures.
+func (s *Sharded) ShardStats() shard.Stats { return s.engine.Stats() }
+
 func (s *Sharded) conf() *Config             { return &s.config }
 func (s *Sharded) radioBlocksPerPacket() int { return s.bpp }
 func (s *Sharded) cellList() []*cell         { return s.cells }
+func (s *Sharded) probes() *probeState       { return s.pstate }
 
 func (s *Sharded) advanceTo(t float64) error { return s.engine.AdvanceTo(t) }
 
@@ -176,6 +225,16 @@ func (s *Sharded) processedEvents() uint64 {
 		total += c.eng.ProcessedEvents()
 	}
 	return total
+}
+
+func (s *Sharded) poolStats() (hits, misses, free uint64) {
+	for _, c := range s.cells {
+		h, m := c.eng.PoolStats()
+		hits += h
+		misses += m
+		free += uint64(c.eng.FreeEvents())
+	}
+	return hits, misses, free
 }
 
 // dispatch implements cellEnv by queueing the handover on the source cell's

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/probe"
 	"repro/internal/traffic"
 )
 
@@ -17,6 +18,13 @@ type engineCore interface {
 	cellList() []*cell
 	advanceTo(t float64) error
 	processedEvents() uint64
+	// probes returns the engine's probe state, or nil when Config.Probe is
+	// unset.
+	probes() *probeState
+	// poolStats sums the event-record pool counters of the engine's
+	// calendars: freelist hits, fresh allocations, and currently pooled
+	// records.
+	poolStats() (hits, misses, free uint64)
 }
 
 // Simulator runs the detailed network-level model of the GSM/GPRS cluster on
@@ -32,6 +40,7 @@ type Simulator struct {
 	eng    *des.Simulation
 	cells  []*cell
 	bpp    int
+	pstate *probeState
 
 	// freeHO recycles handover-dispatch records, keeping dispatch off the
 	// allocator (the scheduled closure is bound to the record once, at first
@@ -46,6 +55,9 @@ func New(cfg Config) (*Simulator, error) {
 	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(int) *des.Simulation { return s.eng })
 	if err != nil {
 		return nil, err
+	}
+	if s.config.Probe != nil {
+		s.pstate = newProbeState(*s.config.Probe, s.cells)
 	}
 	return s, nil
 }
@@ -81,10 +93,25 @@ func (s *Simulator) MidCell() int { return cluster.MidCell }
 // results.
 func (s *Simulator) Run() (Results, error) { return collectRun(s) }
 
+// Series returns the sim-time series recorded by the run, or nil when
+// Config.Probe was unset (or Run has not executed yet).
+func (s *Simulator) Series() *probe.Series {
+	if s.pstate == nil {
+		return nil
+	}
+	return s.pstate.series
+}
+
 func (s *Simulator) conf() *Config             { return &s.config }
 func (s *Simulator) radioBlocksPerPacket() int { return s.bpp }
 func (s *Simulator) cellList() []*cell         { return s.cells }
 func (s *Simulator) processedEvents() uint64   { return s.eng.ProcessedEvents() }
+func (s *Simulator) probes() *probeState       { return s.pstate }
+
+func (s *Simulator) poolStats() (hits, misses, free uint64) {
+	hits, misses = s.eng.PoolStats()
+	return hits, misses, uint64(s.eng.FreeEvents())
+}
 
 func (s *Simulator) advanceTo(t float64) error {
 	s.eng.RunUntil(t)
@@ -137,6 +164,7 @@ func (s *Simulator) dispatch(src *cell, dst int, m handoverMsg) {
 func collectRun(e engineCore) (Results, error) {
 	cfg := e.conf()
 	cells := e.cellList()
+	probe.Default.RunsStarted.Add(1)
 	for _, c := range cells {
 		c.start()
 	}
@@ -164,14 +192,29 @@ func collectRun(e engineCore) (Results, error) {
 	warmStart := snap
 
 	batchDur := cfg.MeasurementSec / float64(cfg.Batches)
+	// Arm the probe (when configured) over the exact measurement span the
+	// batch loop will cover: the final batch end below computes the same
+	// float expression, so the probe's clamped last window coincides with the
+	// terminal aggregates bit for bit.
+	ps := e.probes()
+	if ps != nil {
+		ps.arm(warmupEnd, warmupEnd+float64(cfg.Batches)*batchDur)
+	}
+	// Publish wall-clock progress at coarse boundaries only (warm-up end and
+	// batch ends), keeping the event hot path free of atomics.
+	lastEvents := e.processedEvents()
+	probe.Default.EventsProcessed.Add(lastEvents)
 	end := warmupEnd
 	for b := 1; b <= cfg.Batches; b++ {
 		end = warmupEnd + float64(b)*batchDur
-		if err := e.advanceTo(end); err != nil {
+		if err := advanceProbed(e, ps, end); err != nil {
 			return Results{}, err
 		}
 		mid.finishBatch(acc, snap, end, batchDur)
 		snap = mid.resetBatchWindow(end)
+		cur := e.processedEvents()
+		probe.Default.EventsProcessed.Add(cur - lastEvents)
+		lastEvents = cur
 	}
 
 	res := acc.results()
@@ -188,6 +231,12 @@ func collectRun(e engineCore) (Results, error) {
 	res.SimulatedSec = cfg.MeasurementSec
 	res.Events = e.processedEvents()
 	res.PerCell = perCellMeasures(cells, acc, perStart, hoStart, end, cfg.MeasurementSec)
+
+	hits, misses, free := e.poolStats()
+	probe.Default.PoolHits.Add(hits)
+	probe.Default.PoolMisses.Add(misses)
+	probe.Default.FreeEvents.Store(free)
+	probe.Default.RunsCompleted.Add(1)
 	return res, nil
 }
 

@@ -56,6 +56,30 @@ func (tw *TimeWeighted) Mean(t float64) float64 {
 	return tw.integral / elapsed
 }
 
+// MeanAt returns the time average of the variable over [start, t] without
+// advancing the accumulator: unlike Mean, the internal integral and clock are
+// left untouched, so a later Mean(t') performs exactly the same float
+// accumulation steps it would have performed had MeanAt never been called.
+// Mid-run observers (the probe samplers of internal/sim) rely on this to read
+// running averages without perturbing the bit-exact terminal statistics. The
+// arithmetic mirrors Mean exactly, so MeanAt(t) equals a hypothetical final
+// Mean(t) bit for bit.
+func (tw *TimeWeighted) MeanAt(t float64) float64 {
+	if !tw.started {
+		return 0
+	}
+	integral, lastT := tw.integral, tw.lastT
+	if t > lastT {
+		integral += tw.lastV * (t - lastT)
+		lastT = t
+	}
+	elapsed := lastT - tw.startT
+	if elapsed <= 0 {
+		return tw.lastV
+	}
+	return integral / elapsed
+}
+
 // Current returns the value recorded by the most recent update.
 func (tw *TimeWeighted) Current() float64 { return tw.lastV }
 
