@@ -18,6 +18,12 @@
 // hotspot-pedestrian) additionally skew the per-cell handover flow, reported
 // by the hsp05 figure.
 //
+// -policy (with -guard/-ho-queue/-ho-deadline) installs a handover admission
+// policy (internal/policy) on every simulator run, overriding any policy the
+// scenario declares; the policy presets (hotspot-guard, hotspot-hoqueue,
+// highway-retry) bundle a policy with a matching load shape. The hsp06
+// figure reports where in the cluster the policy intervenes.
+//
 // Progress is human-readable by default; -progress-json switches the stderr
 // stream to structured JSON lines (one event per completed sweep point or
 // figure group, with wall-clock elapsed and a remaining-work estimate), for
@@ -34,6 +40,8 @@
 //	gprs-experiments -figure hotspot -cells 19 -replications 5
 //	gprs-experiments -figure hotspot -scenario gradient
 //	gprs-experiments -figure hotspot -scenario highway -cells 19
+//	gprs-experiments -figure hotspot -scenario hotspot-guard
+//	gprs-experiments -figure hotspot -scenario hotspot -policy guard -guard 2
 //	gprs-experiments -full -progress-json 2>progress.jsonl
 //	gprs-experiments -full -telemetry :6060
 package main
@@ -48,6 +56,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/policy"
 	"repro/internal/probe"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -80,6 +89,10 @@ func run(args []string) error {
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per simulator replication (1 = serial engine)")
 		scnName = fs.String("scenario", "", "built-in workload scenario for all simulator runs: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
+		polName = fs.String("policy", "", "handover admission policy for all simulator runs (overrides the scenario's): "+strings.Join(policy.Names(), ", "))
+		guard   = fs.Int("guard", 0, "voice channels reserved for handovers (-policy guard)")
+		hoQueue = fs.Int("ho-queue", 0, "per-cell handover queue capacity (-policy queue)")
+		hoDead  = fs.Float64("ho-deadline", 0, "queued-handover deadline in seconds (-policy queue)")
 		quiet   = fs.Bool("quiet", false, "suppress progress output on stderr")
 		pjson   = fs.Bool("progress-json", false, "emit structured JSON-lines progress events on stderr instead of human-readable lines")
 		telem   = fs.String("telemetry", "", "serve live pprof/expvar telemetry on this address (e.g. :6060) for the duration of the run")
@@ -144,6 +157,11 @@ func run(args []string) error {
 		}
 		opts.Scenario = &spec
 	}
+	pol, err := resolvePolicyFlags(*polName, *guard, *hoQueue, *hoDead)
+	if err != nil {
+		return err
+	}
+	opts.Policy = pol
 	switch {
 	case *quiet:
 		// No progress stream at all.
@@ -179,6 +197,31 @@ func run(args []string) error {
 	}
 	fmt.Printf("wrote %d CSV files to %s in %.1fs\n", len(paths), *outDir, time.Since(start).Seconds())
 	return nil
+}
+
+// resolvePolicyFlags turns the -policy flag family into the policy override
+// of experiments.Options. An empty -policy returns nil (the scenario's
+// declaration, if any, stands) but rejects orphaned policy parameters;
+// "none" returns a None-kind configuration, which the experiments layer
+// treats as an explicit reset to the paper's default admission rule. The
+// guard reservation is bounded against the channel plan per run
+// (sim.Config.Validate), not here, where no plan exists yet.
+func resolvePolicyFlags(name string, guard, queueCap int, deadline float64) (*policy.Config, error) {
+	if name == "" {
+		if guard != 0 || queueCap != 0 || deadline != 0 {
+			return nil, fmt.Errorf("-guard/-ho-queue/-ho-deadline need -policy (known: %s)", strings.Join(policy.Names(), ", "))
+		}
+		return nil, nil
+	}
+	kind, err := policy.Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	p := policy.Config{Kind: kind, Guard: guard, QueueCapacity: queueCap, QueueDeadlineSec: deadline}
+	if err := p.Validate(0); err != nil {
+		return nil, err
+	}
+	return &p, nil
 }
 
 // progressLine is one JSON-lines record of -progress-json: the structured

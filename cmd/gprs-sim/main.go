@@ -21,6 +21,17 @@
 // scenarios — with cross-replication confidence half-widths when more than
 // one replication ran.
 //
+// -policy selects the handover admission policy (internal/policy): "guard"
+// reserves -guard voice channels for handovers, "queue" parks blocked voice
+// handovers in a per-cell queue bounded by -ho-queue entries and -ho-deadline
+// seconds, and "retry" forwards a failed handover once to the source cell's
+// next neighbour. Scenarios can carry a policy of their own (presets
+// hotspot-guard, hotspot-hoqueue, highway-retry); an explicit -policy
+// overrides it, and -policy none restores the paper's default admission rule.
+// When a policy engaged, -percell appends its counters — guard-blocked fresh
+// calls, handovers queued/served/expired, retry forwards, and calls that
+// completed during the handover interruption.
+//
 // -precision enables the adaptive stopping rule: instead of a fixed
 // -replications count, replications are added in batches until the relative
 // confidence half-width of the -target measure drops below the threshold,
@@ -61,6 +72,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/policy"
 	"repro/internal/probe"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -94,6 +106,10 @@ func run(args []string) error {
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per replication (1 = serial engine)")
 		scnName = fs.String("scenario", "", "built-in workload scenario: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
+		polName = fs.String("policy", "", "handover admission policy (overrides the scenario's): "+strings.Join(policy.Names(), ", "))
+		guard   = fs.Int("guard", 0, "voice channels reserved for handovers (-policy guard)")
+		hoQueue = fs.Int("ho-queue", 0, "per-cell handover queue capacity (-policy queue)")
+		hoDead  = fs.Float64("ho-deadline", 0, "maximum wait of a queued handover in seconds (-policy queue)")
 		perCell = fs.Bool("percell", false, "print the per-cell report after the mid-cell measures")
 		prec    = fs.Float64("precision", 0, "adaptive stopping: relative CI half-width target for -target (0 = fixed -replications)")
 		minReps = fs.Int("min-reps", 0, "adaptive mode: replications in the first batch (0 = 4)")
@@ -150,6 +166,13 @@ func run(args []string) error {
 		}
 		scenarioLabel = describeProfile(spec, prof, cfg.Mobility)
 	}
+	if err := applyPolicyFlags(&cfg, *polName, *guard, *hoQueue, *hoDead); err != nil {
+		return err
+	}
+	policyLabel := "default admission (paper)"
+	if cfg.Policy != nil {
+		policyLabel = describePolicy(cfg.Policy)
+	}
 
 	if *reps < 1 {
 		*reps = 1
@@ -158,8 +181,8 @@ func run(args []string) error {
 	if *prec > 0 {
 		repsLabel = fmt.Sprintf("adaptive replications (%.3g relative half-width on %s)", *prec, targetMeasure)
 	}
-	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d cells, %d reserved PDCHs, TCP %v, %s, scenario %s...\n",
-		traffic.Model(*modelID), *rate, *cells, *pdch, cfg.EnableTCP, repsLabel, scenarioLabel)
+	fmt.Printf("simulating %s, rate %.3g calls/s per cell, %d cells, %d reserved PDCHs, TCP %v, %s, scenario %s, policy %s...\n",
+		traffic.Model(*modelID), *rate, *cells, *pdch, cfg.EnableTCP, repsLabel, scenarioLabel, policyLabel)
 
 	if *reps <= 1 && *prec <= 0 && vr == runner.VRNone {
 		// A single run bypasses runner.Run deliberately: it uses cfg.Seed
@@ -253,6 +276,47 @@ func writeMergedSeries(path string, s *runner.SeriesSummary) error {
 	return err
 }
 
+// applyPolicyFlags installs the -policy flag family on the configuration. An
+// empty -policy leaves whatever the scenario installed (or the paper's
+// default) untouched, but rejects orphaned policy parameters; "none"
+// explicitly restores the default admission rule. Parameter-mixing errors
+// (a -guard with -policy queue, say) surface here, before the run starts.
+func applyPolicyFlags(cfg *sim.Config, name string, guard, queueCap int, deadline float64) error {
+	if name == "" {
+		if guard != 0 || queueCap != 0 || deadline != 0 {
+			return fmt.Errorf("-guard/-ho-queue/-ho-deadline need -policy (known: %s)", strings.Join(policy.Names(), ", "))
+		}
+		return nil
+	}
+	kind, err := policy.Parse(name)
+	if err != nil {
+		return err
+	}
+	p := policy.Config{Kind: kind, Guard: guard, QueueCapacity: queueCap, QueueDeadlineSec: deadline}
+	if err := p.Validate(cfg.Channels.GSMChannels()); err != nil {
+		return err
+	}
+	cfg.Policy = nil
+	if kind != policy.None {
+		cfg.Policy = &p
+	}
+	return nil
+}
+
+// describePolicy labels the installed policy for the run header.
+func describePolicy(p *policy.Config) string {
+	switch p.Kind {
+	case policy.GuardChannels:
+		return fmt.Sprintf("guard (%d reserved)", p.Guard)
+	case policy.QueuedHandovers:
+		return fmt.Sprintf("queue (capacity %d, deadline %gs)", p.QueueCapacity, p.QueueDeadlineSec)
+	case policy.DirectedRetry:
+		return "retry (one forward)"
+	default:
+		return p.Kind.String()
+	}
+}
+
 // resolveScenario turns the -scenario/-scenario-file flags into a scenario
 // spec; ok is false when neither flag is set.
 func resolveScenario(name, file string) (spec scenario.Spec, ok bool, err error) {
@@ -302,27 +366,47 @@ func weightRange(weights []float64) (lo, hi float64) {
 // sim.Results.PerCellCI), every point estimate carries its confidence
 // half-width; a single run prints bare point estimates.
 func printPerCell(cells []sim.CellMeasures, cis []sim.CellIntervals) {
+	// policyActive gates the six admission-policy columns: under the paper's
+	// default policy they are identically zero and would only widen the table.
+	policyActive := false
+	for _, m := range cells {
+		if m.GuardBlockedCalls != 0 || m.HandoversQueued != 0 || m.HandoverQueueServed != 0 ||
+			m.HandoverQueueExpired != 0 || m.HandoverRetries != 0 || m.HandoverTransitEnds != 0 {
+			policyActive = true
+			break
+		}
+	}
+	policyHeader, policyRow := "", func(sim.CellMeasures) string { return "" }
+	if policyActive {
+		policyHeader = fmt.Sprintf(" %9s %8s %8s %8s %8s %8s",
+			"guard blk", "HO qd", "HO srv", "HO exp", "HO rty", "HO end")
+		policyRow = func(m sim.CellMeasures) string {
+			return fmt.Sprintf(" %9d %8d %8d %8d %8d %8d",
+				m.GuardBlockedCalls, m.HandoversQueued, m.HandoverQueueServed,
+				m.HandoverQueueExpired, m.HandoverRetries, m.HandoverTransitEnds)
+		}
+	}
 	if len(cis) != len(cells) {
 		fmt.Printf("per-cell measures:\n")
-		fmt.Printf("  %4s %8s %8s %8s %8s %10s %12s %8s %8s %8s\n",
-			"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in", "HO out", "HO fail")
+		fmt.Printf("  %4s %8s %8s %8s %8s %10s %12s %8s %8s %8s%s\n",
+			"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in", "HO out", "HO fail", policyHeader)
 		for _, m := range cells {
-			fmt.Printf("  %4d %8.3f %8.3f %8.3f %8.3f %10.4f %12.0f %8d %8d %8d\n",
+			fmt.Printf("  %4d %8.3f %8.3f %8.3f %8.3f %10.4f %12.0f %8d %8d %8d%s\n",
 				m.Cell, m.CarriedVoiceTraffic, m.AverageSessions, m.CarriedDataTraffic,
 				m.MeanQueueLength, m.GSMBlocking, m.ThroughputBits,
-				m.HandoversIn, m.HandoversOut, m.HandoverFailures)
+				m.HandoversIn, m.HandoversOut, m.HandoverFailures, policyRow(m))
 		}
 		return
 	}
 	fmt.Printf("per-cell measures (± cross-replication CI half-width):\n")
-	fmt.Printf("  %4s %16s %16s %16s %16s %18s %20s %8s %8s %8s\n",
-		"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in", "HO out", "HO fail")
+	fmt.Printf("  %4s %16s %16s %16s %16s %18s %20s %8s %8s %8s%s\n",
+		"cell", "CVT", "AGS", "CDT", "queue", "GSM block", "tput (bit/s)", "HO in", "HO out", "HO fail", policyHeader)
 	pm := func(v float64, iv stats.Interval) string {
 		return fmt.Sprintf("%.3f ±%.3f", v, iv.HalfWidth)
 	}
 	for i, m := range cells {
 		iv := cis[i]
-		fmt.Printf("  %4d %16s %16s %16s %16s %18s %20s %8d %8d %8d\n",
+		fmt.Printf("  %4d %16s %16s %16s %16s %18s %20s %8d %8d %8d%s\n",
 			m.Cell,
 			pm(m.CarriedVoiceTraffic, iv.CarriedVoiceTraffic),
 			pm(m.AverageSessions, iv.AverageSessions),
@@ -330,6 +414,6 @@ func printPerCell(cells []sim.CellMeasures, cis []sim.CellIntervals) {
 			pm(m.MeanQueueLength, iv.MeanQueueLength),
 			fmt.Sprintf("%.4f ±%.4f", m.GSMBlocking, iv.GSMBlocking.HalfWidth),
 			fmt.Sprintf("%.0f ±%.0f", m.ThroughputBits, iv.ThroughputBits.HalfWidth),
-			m.HandoversIn, m.HandoversOut, m.HandoverFailures)
+			m.HandoversIn, m.HandoversOut, m.HandoverFailures, policyRow(m))
 	}
 }

@@ -6,7 +6,10 @@
 // built-in hotspot preset when the file is not found), runs the same
 // configuration on the serial and the sharded engine, verifies the two are
 // bit-identical, and prints the per-cell response by hex distance from the
-// hotspot center.
+// hotspot center. It then replays the identical workload under each handover
+// admission policy (internal/policy) and compares how guard channels, queued
+// handovers, and directed retry trade fresh-call blocking against handover
+// failures.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"reflect"
 
 	"repro/internal/cluster"
+	"repro/internal/policy"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -84,6 +88,45 @@ func main() {
 		f := float64(n)
 		fmt.Printf("%-14d %6d %8.3f %8.3f %12.4f %12.0f\n",
 			d, n, cvt/f, ags/f, blk/f, tput/f)
+	}
+
+	// The policy comparison: the identical workload (same seed, same
+	// scenario) under each handover admission policy. Guard channels trade
+	// fresh-call blocking for handover protection, queued handovers convert
+	// hard failures into short waits bounded by the deadline, and directed
+	// retry spills failed handovers to the next neighbour.
+	fmt.Printf("\nadmission-policy comparison (same workload, same seed):\n")
+	fmt.Printf("%-22s %10s %8s %9s %22s %7s\n",
+		"policy", "GSM block", "HO fail", "guard blk", "HO queued/served/expd", "retries")
+	policies := []struct {
+		label string
+		p     *policy.Config
+	}{
+		{"default (paper)", nil},
+		{"guard (2 reserved)", &policy.Config{Kind: policy.GuardChannels, Guard: 2}},
+		{"queue (cap 4, 5s)", &policy.Config{Kind: policy.QueuedHandovers, QueueCapacity: 4, QueueDeadlineSec: 5}},
+		{"retry (one forward)", &policy.Config{Kind: policy.DirectedRetry}},
+	}
+	for _, pc := range policies {
+		pcfg := cfg
+		pcfg.Policy = pc.p
+		res, err := sim.RunOnce(pcfg, sim.ShardedOptions{Shards: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var blk float64
+		var hoFail, guardBlk, qd, srv, exp, rty int64
+		for _, m := range res.PerCell {
+			blk += m.GSMBlocking
+			hoFail += m.HandoverFailures
+			guardBlk += m.GuardBlockedCalls
+			qd += m.HandoversQueued
+			srv += m.HandoverQueueServed
+			exp += m.HandoverQueueExpired
+			rty += m.HandoverRetries
+		}
+		fmt.Printf("%-22s %10.4f %8d %9d %12d/%4d/%4d %7d\n",
+			pc.label, blk/float64(len(res.PerCell)), hoFail, guardBlk, qd, srv, exp, rty)
 	}
 }
 

@@ -193,6 +193,19 @@ func (t *Topology) Neighbors(cell int) []int {
 	return out
 }
 
+// NeighborAt returns the i-th neighbour of a cell without copying the
+// neighbour list — the allocation-free accessor the simulator's hot path
+// uses (Neighbors returns a fresh slice per call). It returns -1 for
+// out-of-range cells or indices. Together with Degree it exposes the
+// deterministic neighbour order HandoverTarget picks from, which the
+// directed-retry handover policy relies on for its "next neighbour" rule.
+func (t *Topology) NeighborAt(cell, i int) int {
+	if cell < 0 || cell >= t.numCells || i < 0 || i >= len(t.neighbors[cell]) {
+		return -1
+	}
+	return t.neighbors[cell][i]
+}
+
 // Degree returns the number of neighbours of a cell.
 func (t *Topology) Degree(cell int) int {
 	if cell < 0 || cell >= t.numCells {

@@ -347,3 +347,40 @@ func TestAxisDistances(t *testing.T) {
 		t.Error("plain rings carry no hex embedding and should yield nil")
 	}
 }
+
+// TestNeighborAt pins the allocation-free neighbour accessor against the
+// copying Neighbors: same cells in the same deterministic order, -1 out of
+// range, and zero allocations per call.
+func TestNeighborAt(t *testing.T) {
+	for _, cells := range []int{7, 19, 37} {
+		topo, err := Preset(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < topo.NumCells(); c++ {
+			nbs := topo.Neighbors(c)
+			if got := topo.Degree(c); got != len(nbs) {
+				t.Fatalf("%d cells: Degree(%d) = %d, want %d", cells, c, got, len(nbs))
+			}
+			for i, want := range nbs {
+				if got := topo.NeighborAt(c, i); got != want {
+					t.Errorf("%d cells: NeighborAt(%d, %d) = %d, want %d", cells, c, i, got, want)
+				}
+			}
+			if topo.NeighborAt(c, -1) != -1 || topo.NeighborAt(c, topo.Degree(c)) != -1 {
+				t.Errorf("%d cells: out-of-range neighbour index should yield -1", cells)
+			}
+		}
+	}
+	topo := NewHexCluster()
+	if topo.NeighborAt(-1, 0) != -1 || topo.NeighborAt(topo.NumCells(), 0) != -1 {
+		t.Error("out-of-range cell should yield -1")
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = topo.NeighborAt(MidCell, sink%topo.Degree(MidCell))
+	})
+	if allocs != 0 {
+		t.Errorf("NeighborAt allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,141 @@
+package erlang
+
+import (
+	"fmt"
+	"math"
+)
+
+// GuardResult holds the closed-form steady state of a guard-channel cell:
+// an M/M/c/c loss system in which fresh calls are admitted only below c-g
+// busy servers while handover arrivals may fill the cell completely.
+type GuardResult struct {
+	// NewCallBlocking is the probability a fresh call finds c-g or more
+	// servers busy and is blocked.
+	NewCallBlocking float64
+	// HandoverBlocking is the probability a handover arrival finds all c
+	// servers busy and fails.
+	HandoverBlocking float64
+	// MeanBusyServers is the expected number of busy servers E[N].
+	MeanBusyServers float64
+	// Distribution is the steady-state probability vector p_0..p_c.
+	Distribution []float64
+}
+
+// GuardB solves the guard-channel birth-death chain: fresh calls arrive at
+// rate lambdaNew, handovers at rate lambdaHO, every busy server completes at
+// rate mu, c servers in total of which g are reserved for handovers. The
+// birth rate is lambdaNew+lambdaHO below c-g busy servers and lambdaHO from
+// c-g on; the death rate at n busy servers is n*mu. With g = 0 the chain is
+// the plain Erlang-B system, so GuardB generalizes LossSystem.Distribution.
+// The recursion rescales incrementally like Distribution to stay finite for
+// large c or loads.
+func GuardB(lambdaNew, lambdaHO, mu float64, c, g int) (GuardResult, error) {
+	if lambdaNew < 0 || math.IsNaN(lambdaNew) || math.IsInf(lambdaNew, 0) {
+		return GuardResult{}, fmt.Errorf("%w: lambdaNew = %v", ErrInvalidParameter, lambdaNew)
+	}
+	if lambdaHO < 0 || math.IsNaN(lambdaHO) || math.IsInf(lambdaHO, 0) {
+		return GuardResult{}, fmt.Errorf("%w: lambdaHO = %v", ErrInvalidParameter, lambdaHO)
+	}
+	if mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return GuardResult{}, fmt.Errorf("%w: mu = %v", ErrInvalidParameter, mu)
+	}
+	if c < 1 {
+		return GuardResult{}, fmt.Errorf("%w: c = %d", ErrInvalidParameter, c)
+	}
+	if g < 0 || g >= c {
+		return GuardResult{}, fmt.Errorf("%w: guard channels g = %d (want 0 <= g < c = %d)", ErrInvalidParameter, g, c)
+	}
+	// Unnormalized terms t_n = prod_{k<n} birth(k) / ((n)*mu ... ), computed
+	// recursively: t_0 = 1, t_n = t_{n-1} * birth(n-1) / (n*mu).
+	terms := make([]float64, c+1)
+	terms[0] = 1
+	sum := 1.0
+	for n := 1; n <= c; n++ {
+		birth := lambdaHO
+		if n-1 < c-g {
+			birth = lambdaNew + lambdaHO
+		}
+		terms[n] = terms[n-1] * birth / (float64(n) * mu)
+		sum += terms[n]
+		if sum > 1e280 {
+			scale := 1e-280
+			sum *= scale
+			for i := 0; i <= n; i++ {
+				terms[i] *= scale
+			}
+		}
+	}
+	res := GuardResult{Distribution: make([]float64, c+1)}
+	for n := 0; n <= c; n++ {
+		p := terms[n] / sum
+		res.Distribution[n] = p
+		res.MeanBusyServers += float64(n) * p
+		if n >= c-g {
+			res.NewCallBlocking += p
+		}
+	}
+	res.HandoverBlocking = res.Distribution[c]
+	return res, nil
+}
+
+// GuardHandoverBalance holds the result of the guard-channel handover-flow
+// fixed point: the balanced incoming handover rate and the resulting
+// guard-channel steady state, mirroring HandoverBalance for the reserved
+// system.
+type GuardHandoverBalance struct {
+	// HandoverRate is the balanced incoming (= outgoing) handover rate.
+	HandoverRate float64
+	// Result is the guard-channel steady state at the fixed point.
+	Result GuardResult
+	// Iterations is the number of fixed-point iterations performed.
+	Iterations int
+	// Converged indicates the iteration reached the requested tolerance.
+	Converged bool
+}
+
+// BalanceGuardHandover runs the fixed-point iteration of Eqs. (4)-(5) on the
+// guard-channel chain: starting from handoverRate = newCallRate, the
+// incoming handover rate at step i+1 is the outgoing rate muH * E[N]
+// computed from the guard-channel distribution at step i, with every busy
+// server departing at the combined rate mu + muH (call completion or
+// outbound handover). newCallRate is the fresh-call arrival rate, mu the
+// completion rate, muH the handover (dwell-time) rate, servers the number of
+// voice channels, and guard the reserved channel count.
+func BalanceGuardHandover(newCallRate, mu, muH float64, servers, guard int, tol float64, maxIter int) (GuardHandoverBalance, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	hb := GuardHandoverBalance{HandoverRate: newCallRate}
+	if muH == 0 {
+		// No mobility: the fixed point is zero handover flow.
+		hb.HandoverRate = 0
+		res, err := GuardB(newCallRate, 0, mu, servers, guard)
+		hb.Result = res
+		hb.Converged = err == nil
+		return hb, err
+	}
+	for i := 0; i < maxIter; i++ {
+		res, err := GuardB(newCallRate, hb.HandoverRate, mu+muH, servers, guard)
+		if err != nil {
+			return hb, err
+		}
+		next := muH * res.MeanBusyServers
+		hb.Iterations = i + 1
+		hb.Result = res
+		if math.Abs(next-hb.HandoverRate) <= tol*(1+math.Abs(next)) {
+			hb.HandoverRate = next
+			res, err = GuardB(newCallRate, next, mu+muH, servers, guard)
+			if err != nil {
+				return hb, err
+			}
+			hb.Result = res
+			hb.Converged = true
+			return hb, nil
+		}
+		hb.HandoverRate = next
+	}
+	return hb, nil
+}

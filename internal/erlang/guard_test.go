@@ -1,0 +1,145 @@
+package erlang
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGuardBReducesToErlangB pins the g = 0 boundary: without reserved
+// channels the guard chain is the plain M/M/c/c loss system, so both
+// blocking probabilities must equal the Erlang-B blocking and the
+// distribution must match LossSystem.Distribution.
+func TestGuardBReducesToErlangB(t *testing.T) {
+	const lambda, mu = 0.45, 1.0 / 120
+	const c = 19
+	res, err := GuardB(lambda, 0, mu, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ErlangB(lambda/mu, c)
+	if math.Abs(res.NewCallBlocking-want) > 1e-12 {
+		t.Errorf("new-call blocking %v, want Erlang-B %v", res.NewCallBlocking, want)
+	}
+	if math.Abs(res.HandoverBlocking-want) > 1e-12 {
+		t.Errorf("handover blocking %v, want Erlang-B %v", res.HandoverBlocking, want)
+	}
+	dist, err := LossSystem{Lambda: lambda, Mu: mu, C: c}.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range dist {
+		if math.Abs(res.Distribution[n]-dist[n]) > 1e-12 {
+			t.Fatalf("p_%d = %v, want %v", n, res.Distribution[n], dist[n])
+		}
+	}
+}
+
+// TestGuardBMonotone checks the defining trade-off of guard channels: as g
+// grows, fresh calls are blocked more while handovers are blocked less, the
+// distribution stays a probability vector, and detailed balance holds.
+func TestGuardBMonotone(t *testing.T) {
+	const lambdaNew, lambdaHO, mu = 0.5, 0.3, 1.0 / 60
+	const c = 10
+	prevNew, prevHO := -1.0, 2.0
+	for g := 0; g < c; g++ {
+		res, err := GuardB(lambdaNew, lambdaHO, mu, c, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for n, p := range res.Distribution {
+			if p < 0 || p > 1 {
+				t.Fatalf("g=%d: p_%d = %v out of range", g, n, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("g=%d: distribution sums to %v", g, sum)
+		}
+		// Detailed balance across every cut: birth(n-1) p_{n-1} = n mu p_n.
+		for n := 1; n <= c; n++ {
+			birth := lambdaHO
+			if n-1 < c-g {
+				birth = lambdaNew + lambdaHO
+			}
+			lhs, rhs := birth*res.Distribution[n-1], float64(n)*mu*res.Distribution[n]
+			if math.Abs(lhs-rhs) > 1e-12*(1+math.Abs(lhs)) {
+				t.Fatalf("g=%d: detailed balance broken at cut %d: %v vs %v", g, n, lhs, rhs)
+			}
+		}
+		if res.NewCallBlocking <= prevNew {
+			t.Errorf("g=%d: new-call blocking %v should grow with g (prev %v)", g, res.NewCallBlocking, prevNew)
+		}
+		if res.HandoverBlocking >= prevHO {
+			t.Errorf("g=%d: handover blocking %v should fall with g (prev %v)", g, res.HandoverBlocking, prevHO)
+		}
+		if res.NewCallBlocking < res.HandoverBlocking {
+			t.Errorf("g=%d: new-call blocking %v below handover blocking %v", g, res.NewCallBlocking, res.HandoverBlocking)
+		}
+		prevNew, prevHO = res.NewCallBlocking, res.HandoverBlocking
+	}
+}
+
+// TestGuardBErrorPaths sweeps the parameter validation.
+func TestGuardBErrorPaths(t *testing.T) {
+	cases := []struct {
+		name                    string
+		lambdaNew, lambdaHO, mu float64
+		c, g                    int
+	}{
+		{"negative lambdaNew", -1, 0, 1, 5, 1},
+		{"negative lambdaHO", 1, -1, 1, 5, 1},
+		{"zero mu", 1, 1, 0, 5, 1},
+		{"NaN mu", 1, 1, math.NaN(), 5, 1},
+		{"zero servers", 1, 1, 1, 0, 0},
+		{"negative guard", 1, 1, 1, 5, -1},
+		{"guard equals servers", 1, 1, 1, 5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := GuardB(tc.lambdaNew, tc.lambdaHO, tc.mu, tc.c, tc.g); err == nil {
+				t.Error("GuardB accepted invalid parameters")
+			}
+		})
+	}
+}
+
+// TestBalanceGuardHandoverFixedPoint checks the balanced flow: at the fixed
+// point the incoming handover rate equals muH * E[N], and with g = 0 the
+// balance must agree with the unreserved BalanceHandover.
+func TestBalanceGuardHandoverFixedPoint(t *testing.T) {
+	const newCallRate, mu, muH = 0.45, 1.0 / 120, 1.0 / 60
+	const servers = 19
+	for g := 0; g <= 3; g++ {
+		hb, err := BalanceGuardHandover(newCallRate, mu, muH, servers, g, 1e-12, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hb.Converged {
+			t.Fatalf("g=%d: balance did not converge in %d iterations", g, hb.Iterations)
+		}
+		if out := muH * hb.Result.MeanBusyServers; math.Abs(out-hb.HandoverRate) > 1e-9 {
+			t.Errorf("g=%d: fixed point violated: incoming %v, outgoing %v", g, hb.HandoverRate, out)
+		}
+	}
+	guard0, err := BalanceGuardHandover(newCallRate, mu, muH, servers, 0, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := BalanceHandover(newCallRate, mu, muH, servers, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(guard0.HandoverRate-plain.HandoverRate) > 1e-9 {
+		t.Errorf("g=0 balance %v disagrees with BalanceHandover %v", guard0.HandoverRate, plain.HandoverRate)
+	}
+
+	// No mobility: zero handover flow, plain guarded Erlang blocking.
+	still, err := BalanceGuardHandover(newCallRate, mu, 0, servers, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.HandoverRate != 0 || !still.Converged {
+		t.Errorf("muH=0 should balance at zero flow, got %+v", still)
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ctmc"
+	"repro/internal/policy"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -154,6 +155,12 @@ type Options struct {
 	// series are the reference and the model series keep their symmetric
 	// meaning. Nil means the uniform load of the paper.
 	Scenario *scenario.Spec
+	// Policy, when non-nil, installs the handover admission policy (guard
+	// channels, queued handovers, directed retry — see internal/policy) on
+	// every simulator run, overriding any policy the Scenario declares. Nil
+	// keeps the scenario's policy, or the paper's default admission rule
+	// when the scenario declares none.
+	Policy *policy.Config
 	// Progress, when non-nil, receives one human-readable line per completed
 	// unit of work (a finished figure, a simulated point). Calls are
 	// serialized but may arrive in any order.
@@ -427,6 +434,15 @@ func simulateSweep(o Options, figID string, model traffic.Model, rates []float64
 			// splits (e.g. a mutated GPRS fraction) through BaseRates.
 			if _, err := scenario.Apply(&cfg, *o.Scenario); err != nil {
 				return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+			}
+		}
+		if o.Policy != nil {
+			// Installed after the scenario so an explicit policy option
+			// overrides the spec's declaration; the None kind explicitly
+			// restores the paper's default admission rule.
+			cfg.Policy = nil
+			if o.Policy.Kind != policy.None {
+				cfg.Policy = o.Policy
 			}
 		}
 		sum, err := runner.Run(cfg, runner.Options{

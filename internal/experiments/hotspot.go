@@ -110,6 +110,17 @@ func HotspotFigures(o Options) ([]Figure, error) {
 		{"hsp05_hoflow_percell", "outbound handover flow per cell under the %q scenario (%d cells)",
 			"outbound handovers (1/s)",
 			func(m sim.CellMeasures) float64 { return float64(m.HandoversOut) / o.SimMeasurementSec }},
+		// The admission-policy figure: how often the configured policy steps
+		// in, per cell — fresh calls turned away by a guard reservation,
+		// handovers parked in the queue, and directed-retry forwards. Under
+		// the paper's default policy the curve is identically zero; under the
+		// policy presets (hotspot-guard, hotspot-hoqueue, highway-retry) it
+		// shows where in the cluster the admission rule actually bites.
+		{"hsp06_policy_percell", "handover-policy interventions per cell under the %q scenario (%d cells)",
+			"policy interventions (1/s)",
+			func(m sim.CellMeasures) float64 {
+				return float64(m.GuardBlockedCalls+m.HandoversQueued+m.HandoverRetries) / o.SimMeasurementSec
+			}},
 	}
 
 	figs := make([]Figure, 0, len(measures))

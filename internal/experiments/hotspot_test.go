@@ -24,8 +24,8 @@ func TestHotspotFiguresShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 5 {
-		t.Fatalf("expected 5 hotspot figures, got %d", len(figs))
+	if len(figs) != 6 {
+		t.Fatalf("expected 6 hotspot figures, got %d", len(figs))
 	}
 	byID := map[string]Figure{}
 	for _, fig := range figs {
@@ -54,6 +54,16 @@ func TestHotspotFiguresShape(t *testing.T) {
 	for _, y := range append(append([]float64{}, last.Y...), lastB.Y...) {
 		if math.IsNaN(y) || math.IsInf(y, 0) {
 			t.Errorf("non-finite figure value %v", y)
+		}
+	}
+	// The plain hotspot preset declares no admission policy, so the policy
+	// intervention figure must be identically zero — non-zero values here
+	// would mean the default rule consults the policy counters.
+	for _, s := range byID["hsp06_policy_percell"].Series {
+		for i, y := range s.Y {
+			if y != 0 {
+				t.Errorf("hsp06 %q point %d = %v, want 0 under the default admission policy", s.Label, i, y)
+			}
 		}
 	}
 }

@@ -21,6 +21,7 @@ const CSVHeader = "time_sec,cell," +
 	"offered_cum,lost_cum,delivered_cum,delay_sum_cum_sec," +
 	"gsm_arrivals_cum,gsm_blocked_cum,gprs_arrivals_cum,gprs_blocked_cum," +
 	"ho_in_cum,ho_out_cum,ho_arrivals_cum,ho_failures_cum," +
+	"ho_guard_blocked_cum,ho_queued_cum,ho_queue_served_cum,ho_queue_expired_cum,ho_retries_cum,ho_transit_ends_cum," +
 	"queue_len,voice_calls,sessions," +
 	"carried_data_cum,mean_queue_cum,carried_voice_cum,avg_sessions_cum," +
 	"window_offered,window_lost,window_delivered,window_plp,window_throughput_bits"
@@ -60,11 +61,12 @@ func WriteCSV(w io.Writer, s *Series) error {
 		for i := range s.Cells {
 			c := &s.Cells[i]
 			wOff, wLost, wDel, plp, tput := windowRates(s, c, k)
-			fmt.Fprintf(bw, "%s,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d,%s,%s\n",
+			fmt.Fprintf(bw, "%s,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d,%s,%s\n",
 				fmtFloat(s.Times[k]), c.Cell,
 				c.PacketsOffered[k], c.PacketsLost[k], c.PacketsDelivered[k], fmtFloat(c.DelaySumSec[k]),
 				c.GSMArrivals[k], c.GSMBlocked[k], c.GPRSArrivals[k], c.GPRSBlocked[k],
 				c.HandoversIn[k], c.HandoversOut[k], c.HandoverArrivals[k], c.HandoverFailures[k],
+				c.GuardBlocked[k], c.Queued[k], c.QueueServed[k], c.QueueExpired[k], c.Retries[k], c.TransitEnds[k],
 				c.QueueLen[k], c.VoiceCalls[k], c.Sessions[k],
 				fmtFloat(c.CarriedData[k]), fmtFloat(c.MeanQueueLen[k]),
 				fmtFloat(c.CarriedVoice[k]), fmtFloat(c.AvgSessions[k]),
@@ -89,6 +91,12 @@ type jsonCell struct {
 	HandoversOut     int64   `json:"ho_out_cum"`
 	HandoverArrivals int64   `json:"ho_arrivals_cum"`
 	HandoverFailures int64   `json:"ho_failures_cum"`
+	GuardBlocked     int64   `json:"ho_guard_blocked_cum"`
+	Queued           int64   `json:"ho_queued_cum"`
+	QueueServed      int64   `json:"ho_queue_served_cum"`
+	QueueExpired     int64   `json:"ho_queue_expired_cum"`
+	Retries          int64   `json:"ho_retries_cum"`
+	TransitEnds      int64   `json:"ho_transit_ends_cum"`
 	QueueLen         int     `json:"queue_len"`
 	VoiceCalls       int     `json:"voice_calls"`
 	Sessions         int     `json:"sessions"`
@@ -132,6 +140,12 @@ func WriteJSONL(w io.Writer, s *Series) error {
 				HandoversOut:     c.HandoversOut[k],
 				HandoverArrivals: c.HandoverArrivals[k],
 				HandoverFailures: c.HandoverFailures[k],
+				GuardBlocked:     c.GuardBlocked[k],
+				Queued:           c.Queued[k],
+				QueueServed:      c.QueueServed[k],
+				QueueExpired:     c.QueueExpired[k],
+				Retries:          c.Retries[k],
+				TransitEnds:      c.TransitEnds[k],
 				QueueLen:         c.QueueLen[k],
 				VoiceCalls:       c.VoiceCalls[k],
 				Sessions:         c.Sessions[k],

@@ -126,6 +126,12 @@ type CellSeries struct {
 	// HandoversIn, HandoversOut, HandoverArrivals and HandoverFailures are
 	// the cumulative handover-flow counters.
 	HandoversIn, HandoversOut, HandoverArrivals, HandoverFailures []int64
+	// GuardBlocked, Queued, QueueServed, QueueExpired, Retries and
+	// TransitEnds are the cumulative admission-policy counters (see
+	// sim.CellMeasures: GuardBlockedCalls, HandoversQueued,
+	// HandoverQueueServed, HandoverQueueExpired, HandoverRetries,
+	// HandoverTransitEnds).
+	GuardBlocked, Queued, QueueServed, QueueExpired, Retries, TransitEnds []int64
 
 	// QueueLen, VoiceCalls and Sessions are instantaneous occupancy gauges
 	// at the window end.
@@ -161,6 +167,12 @@ func NewSeries(cells int, intervalSec, startSec float64, capacity int) *Series {
 		c.HandoversOut = make([]int64, 0, capacity)
 		c.HandoverArrivals = make([]int64, 0, capacity)
 		c.HandoverFailures = make([]int64, 0, capacity)
+		c.GuardBlocked = make([]int64, 0, capacity)
+		c.Queued = make([]int64, 0, capacity)
+		c.QueueServed = make([]int64, 0, capacity)
+		c.QueueExpired = make([]int64, 0, capacity)
+		c.Retries = make([]int64, 0, capacity)
+		c.TransitEnds = make([]int64, 0, capacity)
 		c.QueueLen = make([]int, 0, capacity)
 		c.VoiceCalls = make([]int, 0, capacity)
 		c.Sessions = make([]int, 0, capacity)

@@ -111,6 +111,12 @@ func sampleSeries() *Series {
 	c.HandoversOut = append(c.HandoversOut, 1, 1)
 	c.HandoverArrivals = append(c.HandoverArrivals, 0, 2)
 	c.HandoverFailures = append(c.HandoverFailures, 0, 0)
+	c.GuardBlocked = append(c.GuardBlocked, 0, 1)
+	c.Queued = append(c.Queued, 0, 2)
+	c.QueueServed = append(c.QueueServed, 0, 1)
+	c.QueueExpired = append(c.QueueExpired, 0, 1)
+	c.Retries = append(c.Retries, 0, 1)
+	c.TransitEnds = append(c.TransitEnds, 0, 1)
 	c.QueueLen = append(c.QueueLen, 3, 0)
 	c.VoiceCalls = append(c.VoiceCalls, 5, 4)
 	c.Sessions = append(c.Sessions, 1, 2)
@@ -151,6 +157,12 @@ func TestWriteCSVWindowDerivation(t *testing.T) {
 		"window_plp":             "0.5",
 		"window_throughput_bits": wantTput,
 		"carried_voice_cum":      "5.125",
+		"ho_guard_blocked_cum":   "1",
+		"ho_queued_cum":          "2",
+		"ho_queue_served_cum":    "1",
+		"ho_queue_expired_cum":   "1",
+		"ho_retries_cum":         "1",
+		"ho_transit_ends_cum":    "1",
 	} {
 		if got[name] != want {
 			t.Errorf("column %s = %q, want %q", name, got[name], want)
@@ -184,6 +196,9 @@ func TestWriteJSONLWindowDerivation(t *testing.T) {
 	c := last.Cells[0]
 	if c.Offered != 10 || c.WindowPLP != 0.5 {
 		t.Errorf("cumulative/window fields wrong: %+v", c)
+	}
+	if c.GuardBlocked != 1 || c.Queued != 2 || c.QueueServed != 1 || c.QueueExpired != 1 || c.Retries != 1 || c.TransitEnds != 1 {
+		t.Errorf("policy counter fields wrong: %+v", c)
 	}
 	if want := 4 * float64(traffic.PacketSizeBits) / 10; c.WindowThroughput != want {
 		t.Errorf("window throughput %v, want %v", c.WindowThroughput, want)

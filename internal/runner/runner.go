@@ -378,6 +378,12 @@ func mergePerCell(results []sim.Results) []sim.CellMeasures {
 			m.SessionHandoversOut += c.SessionHandoversOut
 			m.HandoverArrivals += c.HandoverArrivals
 			m.HandoverFailures += c.HandoverFailures
+			m.GuardBlockedCalls += c.GuardBlockedCalls
+			m.HandoversQueued += c.HandoversQueued
+			m.HandoverQueueServed += c.HandoverQueueServed
+			m.HandoverQueueExpired += c.HandoverQueueExpired
+			m.HandoverRetries += c.HandoverRetries
+			m.HandoverTransitEnds += c.HandoverTransitEnds
 		}
 		merged[i] = m
 	}

@@ -60,6 +60,20 @@ func TestParseErrorPaths(t *testing.T) {
 		{"mobility error is attributed",
 			`{"mobility": {"spatial": {"kind": "volcano"}}}`,
 			"in mobility profile"},
+		{"unknown policy name", `{"policy": {"kind": "priority"}}`,
+			`unknown policy name "priority"`},
+		{"guard parameter on the queue policy",
+			`{"policy": {"kind": "queue", "guard": 2, "queue_capacity": 4, "queue_deadline_sec": 5}}`,
+			`guard channels 2 set for policy "queue"`},
+		{"queue policy without capacity", `{"policy": {"kind": "queue", "queue_deadline_sec": 5}}`,
+			"queue capacity 0"},
+		{"queue policy without deadline", `{"policy": {"kind": "queue", "queue_capacity": 4}}`,
+			"queue deadline 0"},
+		{"negative guard reservation", `{"policy": {"kind": "guard", "guard": -1}}`,
+			"negative guard channels -1"},
+		{"retry policy with queue parameters",
+			`{"policy": {"kind": "retry", "queue_capacity": 4}}`,
+			`queue capacity 4 set for policy "retry"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -120,5 +134,33 @@ func TestParseMobilityRoundTrip(t *testing.T) {
 	}
 	if len(s.Mobility.Temporal.Steps) != 2 || s.Mobility.Temporal.Steps[1].Scale != 0.5 {
 		t.Errorf("mobility temporal mismatch: %+v", s.Mobility.Temporal)
+	}
+}
+
+// TestParsePolicyRoundTrip pins the JSON form of the policy extension: a
+// "policy" block decodes into Spec.Policy and compiles to the simulator's
+// policy configuration.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	doc := []byte(`{
+		"name": "rush",
+		"spatial": {"kind": "hotspot", "peak": 4, "decay": 1.5},
+		"policy": {"kind": "queue", "queue_capacity": 4, "queue_deadline_sec": 5}
+	}`)
+	s, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy == nil {
+		t.Fatal("policy block not decoded")
+	}
+	if s.Policy.Kind != "queue" || s.Policy.QueueCapacity != 4 || s.Policy.QueueDeadlineSec != 5 {
+		t.Errorf("policy mismatch: %+v", s.Policy)
+	}
+	pc, err := s.Policy.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Kind.String() != "queue" || pc.QueueCapacity != 4 || pc.QueueDeadlineSec != 5 {
+		t.Errorf("compiled policy mismatch: %+v", pc)
 	}
 }

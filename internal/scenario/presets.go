@@ -55,6 +55,24 @@ func presets() map[string]Spec {
 		"hotspot-pedestrian": {Name: "hotspot-pedestrian", Spatial: hotspot,
 			Mobility: &Mobility{
 				Spatial: Spatial{Kind: Hotspot, Center: cluster.MidCell, Peak: 3, Decay: 1.5}}},
+		// The hotspot under a guard-channel policy: two voice channels are
+		// reserved for handovers, trading fresh-call blocking in the hot
+		// center for fewer dropped handovers.
+		"hotspot-guard": {Name: "hotspot-guard", Spatial: hotspot,
+			Policy: &PolicySpec{Kind: "guard", Guard: 2}},
+		// The hotspot with queued handovers: a blocked voice handover waits
+		// up to five seconds in a four-deep per-cell queue for a channel to
+		// free instead of dropping immediately.
+		"hotspot-hoqueue": {Name: "hotspot-hoqueue", Spatial: hotspot,
+			Policy: &PolicySpec{Kind: "queue", QueueCapacity: 4, QueueDeadlineSec: 5}},
+		// The highway corridor with directed retry: a handover refused by a
+		// saturated corridor cell is forwarded once to the source's next
+		// neighbour — off the corridor, where channels are free.
+		"highway-retry": {Name: "highway-retry",
+			Spatial: Spatial{Kind: Corridor, Center: cluster.MidCell, Peak: 3, Decay: 1},
+			Mobility: &Mobility{
+				Spatial: Spatial{Kind: Corridor, Center: cluster.MidCell, Peak: 0.25, Decay: 1}},
+			Policy: &PolicySpec{Kind: "retry"}},
 	}
 }
 

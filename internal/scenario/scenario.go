@@ -26,6 +26,12 @@
 // sim.MobilityProfile contract; a uniform mobility shape with multiplier 1
 // reproduces the symmetric handover flow bit for bit.
 //
+// A Spec can finally declare a handover admission policy (Spec.Policy):
+// guard channels, queued handovers, or directed retry (see package policy).
+// The policy is not compiled — it installs verbatim as sim.Config.Policy —
+// but declaring it in the Spec lets a single JSON document or preset name
+// carry the complete workload: load shape, mobility, and admission rule.
+//
 // Specs serialize to a small JSON format (see Parse and Load) and a handful
 // of named presets are built in (see Preset and Names).
 //
@@ -63,6 +69,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -109,6 +116,47 @@ type Spec struct {
 	// alongside the arrival rates; nil means multiplier 1 everywhere (the
 	// paper's single dwell time per service).
 	Mobility *Mobility `json:"mobility,omitempty"`
+	// Policy, when non-nil, selects the handover admission policy of the
+	// scenario; nil means the paper's default (fresh calls and handovers
+	// share the channels, a blocked handover is dropped).
+	Policy *PolicySpec `json:"policy,omitempty"`
+}
+
+// PolicySpec declares the handover admission policy of a scenario in the
+// JSON form: a policy name as accepted by policy.Parse plus the kind's
+// parameters. It mirrors policy.Config field for field; Spec validation
+// enforces the same no-parameter-mixing rules.
+type PolicySpec struct {
+	// Kind is the policy name: "guard", "queue", "retry", or "none".
+	Kind string `json:"kind"`
+	// Guard is the number of voice channels reserved for handovers
+	// (guard policy only).
+	Guard int `json:"guard,omitempty"`
+	// QueueCapacity bounds the per-cell handover queue (queue policy only).
+	QueueCapacity int `json:"queue_capacity,omitempty"`
+	// QueueDeadlineSec is the maximum wait of a queued handover (queue
+	// policy only).
+	QueueDeadlineSec float64 `json:"queue_deadline_sec,omitempty"`
+}
+
+// compile resolves the declaration to the simulator's policy configuration.
+// The channel-plan-dependent guard bound is checked later, by
+// sim.Config.Validate, where the plan is known.
+func (p PolicySpec) compile() (*policy.Config, error) {
+	kind, err := policy.Parse(p.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+	}
+	cfg := &policy.Config{
+		Kind:             kind,
+		Guard:            p.Guard,
+		QueueCapacity:    p.QueueCapacity,
+		QueueDeadlineSec: p.QueueDeadlineSec,
+	}
+	if err := cfg.Validate(0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+	}
+	return cfg, nil
 }
 
 // Mobility declares the dwell-time shaping of a scenario: a spatial shape
@@ -189,6 +237,11 @@ func (s Spec) Validate() error {
 	if s.Mobility != nil {
 		if err := s.Mobility.validate(); err != nil {
 			return fmt.Errorf("%w (in mobility profile)", err)
+		}
+	}
+	if s.Policy != nil {
+		if _, err := s.Policy.compile(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -350,6 +403,16 @@ func Apply(cfg *sim.Config, s Spec) (*Profile, error) {
 			return nil, err
 		}
 		cfg.Mobility = dp
+	}
+	// Same clear-then-install discipline for the admission policy: a spec
+	// without one must restore the paper's default admission rule.
+	cfg.Policy = nil
+	if s.Policy != nil {
+		pc, err := s.Policy.compile()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Policy = pc
 	}
 	cfg.Rates = p
 	return p, nil

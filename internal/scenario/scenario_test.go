@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -422,5 +423,70 @@ func TestApplyInstallsMobility(t *testing.T) {
 	}
 	if cfg.Mobility != nil {
 		t.Error("Apply must clear a previously installed mobility profile")
+	}
+}
+
+// TestApplyInstallsPolicy checks the admission-policy side of Apply: policy
+// presets install cfg.Policy alongside cfg.Rates, the result validates
+// against the default channel plan, and re-applying a policy-less spec
+// clears the installed policy again.
+func TestApplyInstallsPolicy(t *testing.T) {
+	cfg := sim.DefaultConfig(traffic.Model3, 0.5)
+	spec, err := Preset("hotspot-guard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(&cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy == nil {
+		t.Fatal("hotspot-guard preset should install a policy")
+	}
+	if cfg.Policy.Kind != policy.GuardChannels || cfg.Policy.Guard != 2 {
+		t.Errorf("installed policy %+v, want guard channels with reservation 2", cfg.Policy)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("configuration with policy should validate: %v", err)
+	}
+
+	plain, err := Preset(Hotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(&cfg, plain); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != nil {
+		t.Error("Apply must clear a previously installed policy")
+	}
+}
+
+// TestPolicyPresetsCompile pins the policy parameterization of every policy
+// preset: the spec validates, and the compiled policy matches the kind the
+// preset name promises.
+func TestPolicyPresetsCompile(t *testing.T) {
+	wants := map[string]policy.Kind{
+		"hotspot-guard":   policy.GuardChannels,
+		"hotspot-hoqueue": policy.QueuedHandovers,
+		"highway-retry":   policy.DirectedRetry,
+	}
+	for name, kind := range wants {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if spec.Policy == nil {
+			t.Fatalf("%s: preset has no policy block", name)
+		}
+		pc, err := spec.Policy.compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.Kind != kind {
+			t.Errorf("%s: policy kind %v, want %v", name, pc.Kind, kind)
+		}
 	}
 }

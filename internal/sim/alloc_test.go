@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/policy"
 	"repro/internal/probe"
 	"repro/internal/traffic"
 )
@@ -145,6 +146,73 @@ func TestProbeArmedSteadyStateAllocs(t *testing.T) {
 		}
 		if got, want := e.ps.series.Windows(), int(final-start)/25; got != want {
 			t.Fatalf("%s: %d windows sampled, want %d", e.name, got, want)
+		}
+	}
+}
+
+// TestQueuedHandoverSteadyStateAllocs pins the allocation contract on the
+// queued-handover policy path: the overloaded pin workload keeps every cell
+// saturated, so handovers are parked, served, and expired continuously, and
+// the queue entries must flow through the per-cell freelist (getQHO/putQHO)
+// without per-event allocations — on the serial engine and on both sharded
+// layouts. The warm-up advance grows each cell's queue backing array and
+// entry pool to its bounded peak (QueueCapacity) before measurement starts.
+func TestQueuedHandoverSteadyStateAllocs(t *testing.T) {
+	queuePolicy := &policy.Config{Kind: policy.QueuedHandovers, QueueCapacity: 4, QueueDeadlineSec: 5}
+	type engine struct {
+		name     string
+		advance  func(to float64)
+		events   func() uint64
+		perCells func() []*cell
+	}
+	build := func(name string, shards int) engine {
+		cfg := allocPinConfig(7)
+		cfg.Policy = queuePolicy
+		if shards == 0 {
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return engine{name: name,
+				advance:  func(to float64) { s.eng.RunUntil(to) },
+				events:   s.eng.ProcessedEvents,
+				perCells: func() []*cell { return s.cells }}
+		}
+		s, err := NewSharded(cfg, ShardedOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine{name: name,
+			advance: func(to float64) {
+				if err := s.engine.AdvanceTo(to); err != nil {
+					t.Fatal(err)
+				}
+			},
+			events:   s.processedEvents,
+			perCells: func() []*cell { return s.cells }}
+	}
+	for _, e := range []engine{build("serial", 0), build("sharded1", 1), build("sharded4", 4)} {
+		for _, c := range e.perCells() {
+			c.start()
+		}
+		e.advance(2000)
+		perEvent, eventsPerRun := measureAllocsPerEvent(t, e.advance, e.events, 2000, 500)
+		if eventsPerRun < 1000 {
+			t.Fatalf("%s: only %.0f events per window; the pin would be vacuous", e.name, eventsPerRun)
+		}
+		if perEvent > 0.001 {
+			t.Errorf("%s: queued-handover hot path allocates %.5f allocs/event (%.0f events/window), want 0",
+				e.name, perEvent, eventsPerRun)
+		}
+		var queued, served, expired int64
+		for _, c := range e.perCells() {
+			queued += c.hoQueued
+			served += c.hoQueueServed
+			expired += c.hoQueueExpired
+		}
+		if queued == 0 || served == 0 || expired == 0 {
+			t.Errorf("%s: queue path idle during the pin (queued %d, served %d, expired %d); the pin would be vacuous",
+				e.name, queued, served, expired)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/des"
+	"repro/internal/policy"
 	"repro/internal/radio"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -112,6 +113,14 @@ type handoverMsg struct {
 	kind  hoKind
 	voice voiceState
 	sess  sessionState
+	// src is the cell the user handed over from. The directed-retry policy
+	// uses it to pick the source's next-best neighbour; it is preserved
+	// across the retry forward so the retry target is relative to the
+	// original source, not the refusing cell.
+	src int
+	// retried marks a directed-retry forward: a handover may be retried at
+	// most once, so a retried message that fails again drops the user.
+	retried bool
 }
 
 // cell is one cell of the cluster: voice-channel occupancy, the BSC FIFO
@@ -154,6 +163,13 @@ type cell struct {
 	freeSess  []*session
 	freePkt   []*packet
 
+	// hoQueue is the bounded FIFO of voice handovers parked by the
+	// queued-handovers policy (head at index 0), allocated lazily on the
+	// first refusal; freeQHO recycles its entries, reset on reuse, so the
+	// queue discipline stays on the allocation-free hot path.
+	hoQueue []*queuedHO
+	freeQHO []*queuedHO
+
 	// Mid-cell measurement state (allocated for every cell, but only the mid
 	// cell's numbers are reported).
 	pdchUsage stats.TimeWeighted
@@ -191,8 +207,57 @@ type cell struct {
 	handoverArrivals    int64
 	handoverFailures    int64
 
+	// Admission-policy detail (see internal/policy). guardBlockedCalls counts
+	// fresh calls blocked by the guard reservation alone (a free channel
+	// existed but was reserved for handovers); hoQueued/hoQueueServed/
+	// hoQueueExpired are the queued-handovers ledger (queued = served +
+	// expired on a drained run); hoRetries counts directed-retry forwards
+	// issued by this cell; hoTransitEnds counts voice handovers whose call
+	// completed during the handover interruption (no admission attempted —
+	// this fires under a nil policy too, it was just never counted before).
+	guardBlockedCalls int64
+	hoQueued          int64
+	hoQueueServed     int64
+	hoQueueExpired    int64
+	hoRetries         int64
+	hoTransitEnds     int64
+
 	tcpTimeouts     int64
 	tcpFastRecovers int64
+}
+
+// queuedHO is one voice handover parked in the cell's bounded handover queue:
+// the call's absolute completion time and the cancellable deadline timer.
+// Entries are pooled through getQHO/putQHO with the expiry closure bound once
+// at first allocation, keeping the queue discipline allocation-free at steady
+// state.
+type queuedHO struct {
+	cell     *cell
+	departAt float64
+	expireEv des.Handle
+	expireFn func()
+}
+
+// getQHO takes a queue entry off the cell's freelist, or allocates one with
+// its expiry closure bound. Entries come back from putQHO fully reset.
+func (c *cell) getQHO() *queuedHO {
+	if n := len(c.freeQHO); n > 0 {
+		q := c.freeQHO[n-1]
+		c.freeQHO[n-1] = nil
+		c.freeQHO = c.freeQHO[:n-1]
+		return q
+	}
+	q := &queuedHO{cell: c}
+	q.expireFn = func() { q.cell.expireQueued(q) }
+	return q
+}
+
+// putQHO resets a served or expired queue entry and recycles it. The deadline
+// timer must already be fired or cancelled.
+func (c *cell) putQHO(q *queuedHO) {
+	q.departAt = 0
+	q.expireEv = des.Handle{}
+	c.freeQHO = append(c.freeQHO, q)
 }
 
 func newCell(id int, env cellEnv, eng *des.Simulation, seed int64, kind des.StreamKind) *cell {
@@ -377,8 +442,13 @@ func (c *cell) armDwell(base float64, fire func(), set func(des.Handle)) {
 // gsmArrival handles a fresh GSM voice call.
 func (c *cell) gsmArrival() {
 	c.gsmArrivals++
-	if !c.canAdmitVoice() {
+	if !c.canAdmitNewVoice() {
 		c.gsmBlocked++
+		if c.canAdmitVoice() {
+			// A channel was free but reserved for handovers: the block is
+			// attributable to the guard policy alone.
+			c.guardBlockedCalls++
+		}
 		return
 	}
 	c.addVoice()
@@ -410,18 +480,26 @@ func (c *cell) receive(m handoverMsg) {
 	c.handoverArrivals++
 	switch m.kind {
 	case hoVoice:
-		c.receiveVoice(m.voice)
+		c.receiveVoice(m)
 	case hoSession:
-		c.receiveSession(m.sess)
+		c.receiveSession(m)
 	}
 }
 
-// receiveVoice admits a voice call arriving by handover.
-func (c *cell) receiveVoice(st voiceState) {
+// receiveVoice admits a voice call arriving by handover. A call refused for
+// lack of a free channel is offered to the configured policy — parked in the
+// handover queue or forwarded once by directed retry — before it counts as a
+// handover failure.
+func (c *cell) receiveVoice(m handoverMsg) {
+	st := m.voice
 	if st.departAt <= c.now() {
+		c.hoTransitEnds++
 		return // the call ended during the handover interruption
 	}
 	if !c.canAdmitVoice() {
+		if c.refuseVoiceHandover(m) {
+			return
+		}
 		c.handoverFailures++
 		return // handover failure: the call is dropped
 	}
@@ -433,10 +511,131 @@ func (c *cell) receiveVoice(st voiceState) {
 	call.scheduleHandover()
 }
 
+// refuseVoiceHandover applies the configured policy to a voice handover that
+// found no free channel. It returns true when the policy disposed of the
+// user (queued, or forwarded by directed retry) and false when the handover
+// must count as an immediate failure — no policy, a full queue, or a forward
+// that already failed once.
+func (c *cell) refuseVoiceHandover(m handoverMsg) bool {
+	p := c.env.conf().Policy
+	if p == nil {
+		return false
+	}
+	switch p.Kind {
+	case policy.QueuedHandovers:
+		if len(c.hoQueue) >= p.QueueCapacity {
+			return false // queue full: immediate failure
+		}
+		if c.hoQueue == nil {
+			c.hoQueue = make([]*queuedHO, 0, p.QueueCapacity)
+		}
+		q := c.getQHO()
+		q.departAt = m.voice.departAt
+		// The entry expires at the policy deadline, or when the waiting call
+		// would have completed anyway, whichever comes first.
+		wait := p.QueueDeadlineSec
+		if rem := m.voice.departAt - c.now(); rem < wait {
+			wait = rem
+		}
+		q.expireEv = c.schedule(wait, q.expireFn)
+		c.hoQueue = append(c.hoQueue, q)
+		c.hoQueued++
+		return true
+	case policy.DirectedRetry:
+		if m.retried {
+			return false
+		}
+		c.forwardRetry(m)
+		return true
+	}
+	return false
+}
+
+// expireQueued handles the deadline timer of a queued handover: the entry
+// leaves the queue and the handover fails.
+func (c *cell) expireQueued(q *queuedHO) {
+	for i, e := range c.hoQueue {
+		if e == q {
+			copy(c.hoQueue[i:], c.hoQueue[i+1:])
+			c.hoQueue[len(c.hoQueue)-1] = nil
+			c.hoQueue = c.hoQueue[:len(c.hoQueue)-1]
+			break
+		}
+	}
+	c.hoQueueExpired++
+	c.handoverFailures++
+	c.putQHO(q)
+}
+
+// serveQueuedHandover admits the head of the handover queue into the channel
+// a departing call just freed (called from removeVoice whenever the queue is
+// non-empty). A head whose call completed at exactly this instant — its
+// deadline timer is pending at the same timestamp — expires instead.
+func (c *cell) serveQueuedHandover() {
+	if !c.canAdmitVoice() {
+		return
+	}
+	q := c.hoQueue[0]
+	copy(c.hoQueue, c.hoQueue[1:])
+	c.hoQueue[len(c.hoQueue)-1] = nil
+	c.hoQueue = c.hoQueue[:len(c.hoQueue)-1]
+	q.expireEv.Cancel()
+	departAt := q.departAt
+	c.putQHO(q)
+	if departAt <= c.now() {
+		c.hoQueueExpired++
+		c.handoverFailures++
+		return
+	}
+	c.hoQueueServed++
+	c.addVoice()
+	c.handoversIn++
+	call := c.getVoice()
+	call.departAt = departAt
+	call.departEv = c.schedule(departAt-c.now(), call.departFn)
+	call.scheduleHandover()
+}
+
+// forwardRetry forwards a refused handover once towards the source cell's
+// next-best neighbour: the neighbour following this cell in the source's
+// deterministic neighbour order. No random draw is consumed, and the forward
+// travels as an ordinary handover message under the same
+// HandoverLatencySec, so the sharded engine's conservative-window lookahead
+// covers it unchanged. The forward counts as a handover departure of this
+// cell, keeping the cluster-wide flow ledger (arrivals balance departures)
+// exact.
+func (c *cell) forwardRetry(m handoverMsg) {
+	topo := c.env.conf().Topology
+	deg := topo.Degree(m.src)
+	idx := 0
+	for i := 0; i < deg; i++ {
+		if topo.NeighborAt(m.src, i) == c.id {
+			idx = i
+			break
+		}
+	}
+	target := topo.NeighborAt(m.src, (idx+1)%deg)
+	c.hoRetries++
+	c.handoversOut++
+	if m.kind == hoVoice {
+		c.voiceHandoversOut++
+	} else {
+		c.sessionHandoversOut++
+	}
+	m.retried = true
+	c.env.dispatch(c, target, m)
+}
+
 // receiveSession admits a GPRS session arriving by handover and resumes its
-// activity phase.
-func (c *cell) receiveSession(st sessionState) {
+// activity phase. Under the directed-retry policy a refused session is
+// forwarded once, like a refused voice handover.
+func (c *cell) receiveSession(m handoverMsg) {
+	st := m.sess
 	if !c.canAdmitSession() {
+		if p := c.env.conf().Policy; p != nil && p.Kind == policy.DirectedRetry && !m.retried {
+			c.forwardRetry(m)
+			return
+		}
 		c.handoverFailures++
 		return // handover failure: the session is forced to terminate
 	}
@@ -463,9 +662,23 @@ func (c *cell) receiveSession(st sessionState) {
 	}
 }
 
-// canAdmitVoice reports whether a new GSM call can be accepted.
+// canAdmitVoice reports whether a voice call (fresh or handed over) can be
+// accepted on the cell's free channels.
 func (c *cell) canAdmitVoice() bool {
 	return c.env.conf().Channels.CanAdmitGSMCall(c.voiceCalls)
+}
+
+// canAdmitNewVoice reports whether a fresh GSM call can be accepted. Under
+// the guard-channel policy fresh calls are admitted only while fewer than
+// GSMChannels-Guard channels are busy, leaving the reserve to handover
+// arrivals; under every other policy fresh calls and handovers share the
+// channels.
+func (c *cell) canAdmitNewVoice() bool {
+	conf := c.env.conf()
+	if p := conf.Policy; p != nil && p.Kind == policy.GuardChannels {
+		return c.voiceCalls < conf.Channels.GSMChannels()-p.Guard
+	}
+	return c.canAdmitVoice()
 }
 
 // canAdmitSession reports whether a new GPRS session can be accepted.
@@ -486,6 +699,10 @@ func (c *cell) removeVoice() {
 	c.voiceOcc.Update(c.now(), float64(c.voiceCalls))
 	if c.pr != nil {
 		c.pr.voice.Update(c.now(), float64(c.voiceCalls))
+	}
+	if len(c.hoQueue) > 0 {
+		// The freed channel goes to the longest-waiting queued handover.
+		c.serveQueuedHandover()
 	}
 }
 
@@ -646,16 +863,26 @@ type hoSnapshot struct {
 	in, out            int64
 	voiceOut, sessOut  int64
 	arrivals, failures int64
+
+	guardBlocked            int64
+	queued, served, expired int64
+	retries, transitEnds    int64
 }
 
 func (c *cell) handoverSnapshot() hoSnapshot {
 	return hoSnapshot{
-		in:       c.handoversIn,
-		out:      c.handoversOut,
-		voiceOut: c.voiceHandoversOut,
-		sessOut:  c.sessionHandoversOut,
-		arrivals: c.handoverArrivals,
-		failures: c.handoverFailures,
+		in:           c.handoversIn,
+		out:          c.handoversOut,
+		voiceOut:     c.voiceHandoversOut,
+		sessOut:      c.sessionHandoversOut,
+		arrivals:     c.handoverArrivals,
+		failures:     c.handoverFailures,
+		guardBlocked: c.guardBlockedCalls,
+		queued:       c.hoQueued,
+		served:       c.hoQueueServed,
+		expired:      c.hoQueueExpired,
+		retries:      c.hoRetries,
+		transitEnds:  c.hoTransitEnds,
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/policy"
 	"repro/internal/probe"
 	"repro/internal/radio"
 	"repro/internal/tcp"
@@ -62,6 +63,16 @@ type Config struct {
 	// unaffected. Implementations must satisfy the MobilityProfile contract
 	// (piecewise constant, strictly positive, concurrency-safe, pure).
 	Mobility MobilityProfile
+
+	// Policy, when non-nil, selects the admission/handover policy of every
+	// cell — guard channels, queued handovers, or directed retry (see
+	// internal/policy). A nil value is the paper's default admission: fresh
+	// calls and handovers share the voice channels, and a handover finding
+	// the target cell full is dropped. Policies are pure admission rules and
+	// consume no random draws, so a nil policy reproduces the historic
+	// engines bit for bit (pinned by the golden-digest suite) and every
+	// policy behaves identically in the serial and the sharded engine.
+	Policy *policy.Config
 
 	// HandoverLatencySec is the service interruption of a handover: the time
 	// a user is in transit between the source and the target cell, occupying
@@ -188,6 +199,11 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	if err := c.Channels.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if c.Policy != nil {
+		if err := c.Policy.Validate(c.Channels.GSMChannels()); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
 	}
 	if c.BufferSize < 1 {
 		return fmt.Errorf("%w: buffer size %d", ErrInvalidConfig, c.BufferSize)

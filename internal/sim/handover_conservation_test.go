@@ -100,7 +100,22 @@ func TestHandoverFlowConservation(t *testing.T) {
 	}
 }
 
-// checkConservation asserts the exact flow ledger over a drained run.
+// checkConservation asserts the exact flow ledger over a drained run,
+// admission-policy counters included. Per cell, every handover arrival is
+// disposed of exactly once on arrival: admitted directly, failed
+// immediately, parked in the handover queue, forwarded by directed retry, or
+// found its call completed in transit. Queue entries resolve later as served
+// (counted into HandoversIn) or expired (counted into HandoverFailures), so
+// the direct-arrival ledger subtracts those resolutions:
+//
+//	arrivals == (in - served) + (failures - expired) + transitEnds + queued + retries
+//
+// and the queue's own ledger closes exactly on a drained run:
+//
+//	queued == served + expired
+//
+// Under a nil policy every policy counter is zero and the ledger reduces to
+// the exact arrivals == in + failures + transitEnds.
 func checkConservation(t *testing.T, res sim.Results, cells int) {
 	t.Helper()
 	if len(res.PerCell) != cells {
@@ -112,9 +127,18 @@ func checkConservation(t *testing.T, res sim.Results, cells int) {
 			t.Errorf("cell %d: outbound split %d+%d does not sum to %d",
 				m.Cell, m.VoiceHandoversOut, m.SessionHandoversOut, m.HandoversOut)
 		}
-		if m.HandoverArrivals < m.HandoversIn+m.HandoverFailures {
-			t.Errorf("cell %d: arrivals %d below admissions %d + failures %d",
-				m.Cell, m.HandoverArrivals, m.HandoversIn, m.HandoverFailures)
+		direct := (m.HandoversIn - m.HandoverQueueServed) +
+			(m.HandoverFailures - m.HandoverQueueExpired) +
+			m.HandoverTransitEnds + m.HandoversQueued + m.HandoverRetries
+		if m.HandoverArrivals != direct {
+			t.Errorf("cell %d: arrivals %d != (in %d - served %d) + (failures %d - expired %d) + transit %d + queued %d + retries %d",
+				m.Cell, m.HandoverArrivals, m.HandoversIn, m.HandoverQueueServed,
+				m.HandoverFailures, m.HandoverQueueExpired, m.HandoverTransitEnds,
+				m.HandoversQueued, m.HandoverRetries)
+		}
+		if m.HandoversQueued != m.HandoverQueueServed+m.HandoverQueueExpired {
+			t.Errorf("cell %d: queue ledger open: queued %d != served %d + expired %d",
+				m.Cell, m.HandoversQueued, m.HandoverQueueServed, m.HandoverQueueExpired)
 		}
 		out += m.HandoversOut
 		in += m.HandoversIn
@@ -133,6 +157,43 @@ func checkConservation(t *testing.T, res sim.Results, cells int) {
 	}
 	if failures > arrivals-in {
 		t.Errorf("failures %d exceed non-admitted arrivals %d", failures, arrivals-in)
+	}
+}
+
+// TestHandoverFlowConservationPolicies pins the extended ledger for every
+// explicit admission policy on the gated hotspot workload (the hotspot shape
+// keeps the mid cell saturated so every policy path actually fires), on both
+// engines and both cluster sizes. The scenario presets carrying policies ride
+// TestHandoverFlowConservation through scenario.Names(); this table covers
+// the policy kinds directly so the ledger holds even if preset defaults
+// change.
+func TestHandoverFlowConservationPolicies(t *testing.T) {
+	sizes := []int{7}
+	if !testing.Short() {
+		sizes = append(sizes, 19)
+	}
+	preset, err := scenario.Preset("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := gated(preset)
+	for name, p := range policyConfigs() {
+		for _, cells := range sizes {
+			for _, shards := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%dcells/%dshards", name, cells, shards), func(t *testing.T) {
+					cfg := conservationConfig(t, cells)
+					if _, err := scenario.Apply(&cfg, spec); err != nil {
+						t.Fatal(err)
+					}
+					cfg.Policy = p
+					res, err := sim.RunOnce(cfg, sim.ShardedOptions{Shards: shards})
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkConservation(t, res, cells)
+				})
+			}
+		}
 	}
 }
 

@@ -1,0 +1,124 @@
+// Analytic cross-check of the guard-channel policy: on a symmetric pure-voice
+// cluster the per-cell voice dynamics form the guard-channel birth-death
+// chain of erlang.GuardB, with the incoming handover rate determined by the
+// handover-flow fixed point (erlang.BalanceGuardHandover) — fresh calls
+// arrive at rate lambda, every admitted call leaves the cell at the combined
+// completion + dwell rate, and handovers leaving a cell re-enter a neighbour
+// of the wrap-around cluster. The simulated new-call blocking must match the
+// closed form at every guard level, which ties the simulator's policy
+// mechanics to an independent correctness oracle the same way the seed model
+// is tied to the paper's Erlang-B limit.
+//
+// The chain is a mean-field model: it treats the handover inflow as a Poisson
+// stream independent of the cell's own state. On the seven-cell wrap-around
+// cluster every cell neighbours every other, so at the paper's mobility
+// (60 s dwell) the cluster-wide load fluctuations are shared — a full cell
+// implies full neighbours and a elevated handover inflow exactly when the
+// cell cannot take it — and the simulated blocking runs measurably above the
+// fixed point (about +0.08 at 18 Erlang offered; verified against the
+// zero-mobility limit, where the simulator reproduces plain Erlang-B within
+// the confidence half-width). The cross-check therefore runs in a
+// weak-coupling regime, dwell time 3000 s (muH/mu = 0.04), where the
+// independence assumption holds to well under one blocking percentage point
+// and the remaining bias fits inside the tolerance floor.
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/erlang"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// guardCrossCheckConfig returns a symmetric, pure-voice run of the seven-cell
+// cluster in the weak-coupling regime: no GPRS sessions and no TCP, so the
+// voice channels form exactly the loss system of the analytic chain, and a
+// long dwell time so the handover inflow is a small perturbation of the
+// fresh-call stream. The long measurement window keeps the batch-means
+// half-width near one blocking percentage point.
+func guardCrossCheckConfig(lambda, dwellSec float64) sim.Config {
+	cfg := sim.DefaultConfig(traffic.Model3, lambda)
+	cfg.GPRSFraction = 0
+	cfg.EnableTCP = false
+	cfg.GSMDwellTimeSec = dwellSec
+	cfg.MeasurementSec = 100000
+	cfg.Seed = 5
+	return cfg
+}
+
+// TestGuardChannelBlockingMatchesErlang compares the simulated new-call
+// blocking against the guard-channel fixed point at three guard levels. The
+// tolerance is the batch-means confidence half-width plus a floor of 0.015
+// covering the residual mean-field bias of the finite cluster; one guard
+// channel moves the analytic blocking by about 0.035, so the check still
+// resolves adjacent guard levels. Alongside the analytic match the test pins
+// the two qualitative properties the policy exists for: blocking grows with
+// the reservation, and handover failures stay far below fresh-call blocking.
+func TestGuardChannelBlockingMatchesErlang(t *testing.T) {
+	const (
+		lambda = 0.16      // ~17 Erlang offered on 19 channels: blocking well off zero
+		mu     = 1.0 / 120 // call-completion rate (GSMCallDurationSec)
+		dwell  = 3000.0    // weak-coupling dwell time; muH = 1/dwell
+	)
+	servers := guardCrossCheckConfig(lambda, dwell).Channels.GSMChannels()
+	guards := []int{1, 2, 3}
+	if testing.Short() {
+		guards = guards[1:2]
+	}
+	prevBlocking := -1.0
+	for _, g := range guards {
+		t.Run(fmt.Sprintf("guard%d", g), func(t *testing.T) {
+			hb, err := erlang.BalanceGuardHandover(lambda, mu, 1/dwell, servers, g, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hb.Converged {
+				t.Fatalf("handover balance did not converge: %+v", hb)
+			}
+			want := hb.Result.NewCallBlocking
+			if want < 0.05 {
+				t.Fatalf("analytic blocking %v too small for a meaningful comparison", want)
+			}
+			cfg := guardCrossCheckConfig(lambda, dwell)
+			cfg.Policy = &policy.Config{Kind: policy.GuardChannels, Guard: g}
+			res, err := sim.RunOnce(cfg, sim.ShardedOptions{Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.GSMBlockingProbability
+			tol := got.HalfWidth + 0.015
+			if diff := got.Mean - want; diff > tol || diff < -tol {
+				t.Errorf("guard %d: simulated blocking %.4f ± %.4f vs analytic %.4f (diff %+.4f beyond tolerance %.4f)",
+					g, got.Mean, got.HalfWidth, want, diff, tol)
+			}
+			if got.Mean <= prevBlocking {
+				t.Errorf("guard %d: blocking %.4f did not grow over guard level below (%.4f)",
+					g, got.Mean, prevBlocking)
+			}
+			prevBlocking = got.Mean
+
+			var failures, arrivals int64
+			for _, m := range res.PerCell {
+				failures += m.HandoverFailures
+				arrivals += m.HandoverArrivals
+			}
+			if arrivals == 0 {
+				t.Fatal("degenerate run: no handovers at all")
+			}
+			hoBlocking := float64(failures) / float64(arrivals)
+			if hoBlocking >= got.Mean/2 {
+				t.Errorf("guard %d: handover failure fraction %.4f not well below new-call blocking %.4f",
+					g, hoBlocking, got.Mean)
+			}
+			if diff := hoBlocking - hb.Result.HandoverBlocking; diff > 0.01 || diff < -0.01 {
+				t.Errorf("guard %d: handover failure fraction %.4f vs analytic handover blocking %.4f",
+					g, hoBlocking, hb.Result.HandoverBlocking)
+			}
+			t.Logf("guard %d: sim %.4f ± %.4f, analytic %.4f; handover %.4f vs %.4f",
+				g, got.Mean, got.HalfWidth, want, hoBlocking, hb.Result.HandoverBlocking)
+		})
+	}
+}

@@ -89,6 +89,38 @@ func TestVoiceCallPoolResetOnReuse(t *testing.T) {
 	}
 }
 
+// TestQueuedHandoverPoolResetOnReuse is the handover-queue-entry counterpart:
+// a served or expired entry returns reset, with its prebound expiry closure
+// still bound to the same record.
+func TestQueuedHandoverPoolResetOnReuse(t *testing.T) {
+	c := poolTestCell(t)
+	q1 := c.getQHO()
+	if q1.expireFn == nil {
+		t.Fatal("fresh queue entry is missing the prebound expiry closure")
+	}
+	if q1.cell != c {
+		t.Fatal("fresh queue entry is not anchored to its cell")
+	}
+	q1.departAt = 321.25
+	q1.expireEv = c.schedule(1, func() {})
+	q1.expireEv.Cancel()
+	c.putQHO(q1)
+
+	q2 := c.getQHO()
+	if q2 != q1 {
+		t.Fatal("freelist should recycle the same record")
+	}
+	if q2.departAt != 0 {
+		t.Errorf("recycled queue entry carries stale departAt %v", q2.departAt)
+	}
+	if q2.expireEv != (des.Handle{}) {
+		t.Error("recycled queue entry carries a stale event handle")
+	}
+	if q2.expireFn == nil {
+		t.Error("recycling dropped the prebound expiry closure")
+	}
+}
+
 // TestPacketPoolResetOnReuse is the packet counterpart: delivered and dropped
 // packets return reset.
 func TestPacketPoolResetOnReuse(t *testing.T) {

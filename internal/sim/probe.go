@@ -104,6 +104,12 @@ func (ps *probeState) sample(t float64) {
 		cs.HandoversOut = append(cs.HandoversOut, c.handoversOut-hbase.out)
 		cs.HandoverArrivals = append(cs.HandoverArrivals, c.handoverArrivals-hbase.arrivals)
 		cs.HandoverFailures = append(cs.HandoverFailures, c.handoverFailures-hbase.failures)
+		cs.GuardBlocked = append(cs.GuardBlocked, c.guardBlockedCalls-hbase.guardBlocked)
+		cs.Queued = append(cs.Queued, c.hoQueued-hbase.queued)
+		cs.QueueServed = append(cs.QueueServed, c.hoQueueServed-hbase.served)
+		cs.QueueExpired = append(cs.QueueExpired, c.hoQueueExpired-hbase.expired)
+		cs.Retries = append(cs.Retries, c.hoRetries-hbase.retries)
+		cs.TransitEnds = append(cs.TransitEnds, c.hoTransitEnds-hbase.transitEnds)
 		cs.QueueLen = append(cs.QueueLen, len(c.buffer))
 		cs.VoiceCalls = append(cs.VoiceCalls, c.voiceCalls)
 		cs.Sessions = append(cs.Sessions, c.sessions)

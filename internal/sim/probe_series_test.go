@@ -64,7 +64,7 @@ func TestGoldenResultDigestsProbesArmed(t *testing.T) {
 					// boundaries interleave with batch ends.
 					cfg.Probe = &probe.Spec{IntervalSec: 37.5}
 					res, ser := mustRunSeries(t, cfg, shards)
-					if got := resultsDigest(res); got != g.want {
+					if got := seedDigest(res); got != g.want {
 						t.Errorf("queue %d, %d shard(s): probes-armed digest %s, want seed digest %s",
 							queue, shards, got, g.want)
 					}

@@ -117,6 +117,23 @@ type CellMeasures struct {
 	SessionHandoversOut int64
 	HandoverArrivals    int64
 	HandoverFailures    int64
+
+	// Admission-policy detail (see internal/policy and Config.Policy).
+	// GuardBlockedCalls counts fresh calls blocked by the guard reservation
+	// alone (a channel was free but reserved for handovers).
+	// HandoversQueued, HandoverQueueServed, and HandoverQueueExpired are the
+	// queued-handovers ledger: on a drained run, queued = served + expired
+	// exactly, and expired failures are included in HandoverFailures.
+	// HandoverRetries counts directed-retry forwards issued by this cell
+	// (also included in HandoversOut). HandoverTransitEnds counts voice
+	// handovers whose call completed during the handover interruption — this
+	// happens under a nil policy too; it simply was not reported before.
+	GuardBlockedCalls    int64
+	HandoversQueued      int64
+	HandoverQueueServed  int64
+	HandoverQueueExpired int64
+	HandoverRetries      int64
+	HandoverTransitEnds  int64
 }
 
 // CellIntervals carries cross-replication confidence intervals for the

@@ -12,12 +12,15 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -98,43 +101,108 @@ func TestScenariosSerialShardedBitIdentical(t *testing.T) {
 	}
 }
 
-// resultsDigest condenses a Results value into a short hex digest of its
-// Go-syntax representation (floats round-trip through their shortest exact
-// representation, so the digest pins every bit of every field).
-func resultsDigest(r sim.Results) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", r)))
+// digestFloat renders a float through its shortest representation that parses
+// back to exactly the same bits, so a digest over it pins the value bit for
+// bit.
+func digestFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func digestInterval(b *strings.Builder, iv stats.Interval) {
+	b.WriteString(digestFloat(iv.Mean))
+	b.WriteByte('|')
+	b.WriteString(digestFloat(iv.HalfWidth))
+	b.WriteByte('|')
+	b.WriteString(digestFloat(iv.Level))
+	b.WriteByte('|')
+	fmt.Fprintf(b, "%d;", iv.Batches)
+}
+
+// seedDigest condenses the seed-era fields of a Results value into a short
+// hex digest: every measure and counter the pre-policy engines reported,
+// serialized canonically field by field (floats through their shortest exact
+// representation). Unlike a %#v digest, the canonical form is stable under
+// pure schema growth — adding new CellMeasures fields does not move these
+// digests, so a nil-policy run must keep reproducing the pre-policy values.
+// The policy counters are pinned separately by policyDigest.
+func seedDigest(r sim.Results) string {
+	var b strings.Builder
+	for _, iv := range []stats.Interval{
+		r.CarriedDataTraffic, r.PacketLossProbability, r.QueueingDelay,
+		r.ThroughputBits, r.ThroughputPerUserBits, r.AverageSessions,
+		r.CarriedVoiceTraffic, r.GSMBlockingProbability, r.GPRSBlockingProbability,
+		r.MeanQueueLength,
+	} {
+		digestInterval(&b, iv)
+	}
+	fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%d|%d|", r.PacketsOffered, r.PacketsLost,
+		r.PacketsDelivered, r.HandoversIn, r.HandoversOut, r.TCPTimeouts, r.TCPFastRecovers)
+	b.WriteString(digestFloat(r.SimulatedSec))
+	fmt.Fprintf(&b, "|%d\n", r.Events)
+	for _, m := range r.PerCell {
+		fmt.Fprintf(&b, "%d|", m.Cell)
+		for _, v := range []float64{
+			m.CarriedDataTraffic, m.MeanQueueLength, m.CarriedVoiceTraffic,
+			m.AverageSessions, m.PacketLossProbability, m.QueueingDelaySec,
+			m.ThroughputBits, m.GSMBlocking, m.GPRSBlocking,
+		} {
+			b.WriteString(digestFloat(v))
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			m.PacketsOffered, m.PacketsLost, m.PacketsDelivered,
+			m.HandoversIn, m.HandoversOut, m.VoiceHandoversOut,
+			m.SessionHandoversOut, m.HandoverArrivals, m.HandoverFailures)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// policyDigest extends seedDigest with the per-cell admission-policy counters,
+// pinning policy runs bit for bit (the seed-era fields and the policy ledger
+// together).
+func policyDigest(r sim.Results) string {
+	var b strings.Builder
+	b.WriteString(seedDigest(r))
+	for _, m := range r.PerCell {
+		fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%d|%d\n", m.Cell,
+			m.GuardBlockedCalls, m.HandoversQueued, m.HandoverQueueServed,
+			m.HandoverQueueExpired, m.HandoverRetries, m.HandoverTransitEnds)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
 	return fmt.Sprintf("%x", sum[:8])
 }
 
 // goldenDigests pins the exact seed results of scenarioQuickConfig runs bit
-// for bit: the digests were captured from the pre-pooling engines (before the
-// allocation-free refactor of PR 6). The busyhour ramp steps after the quick
-// config's horizon and the uniform scenario is the identity, so their digests
-// legitimately equal the baseline's — the table keeps them as separate rows so
-// a future config change that moves the horizon shows up. The table is shared
-// by TestGoldenResultDigests (probes off) and TestGoldenResultDigestsProbesArmed
+// for bit: the canonical digests were captured from the pre-policy engines
+// (immediately before the admission-policy layer landed), whose sample paths
+// reach back unchanged to the pre-pooling engines of PR 6. A nil-policy run
+// must keep reproducing them — the policy layer exists strictly behind
+// Config.Policy. The busyhour ramp steps after the quick config's horizon and
+// the uniform scenario is the identity, so their digests legitimately equal
+// the baseline's — the table keeps them as separate rows so a future config
+// change that moves the horizon shows up. The table is shared by
+// TestGoldenResultDigests (probes off) and TestGoldenResultDigestsProbesArmed
 // (probes on): both columns must reproduce the same digests.
 var goldenDigests = []struct {
 	name  string
 	cells int
 	want  string
 }{
-	{"baseline", 7, "376bb835b94d2c74"},
-	{"busyhour", 7, "376bb835b94d2c74"},
-	{"gradient", 7, "8720d676deb0ee6a"},
-	{"highway", 7, "3741d8a80cf26d3f"},
-	{"hotspot", 7, "a542d02aacfa96b6"},
-	{"hotspot-busyhour", 7, "a542d02aacfa96b6"},
-	{"hotspot-pedestrian", 7, "145418b789b66619"},
-	{"uniform", 7, "376bb835b94d2c74"},
-	{"baseline", 19, "e13fac49d065e27d"},
-	{"busyhour", 19, "e13fac49d065e27d"},
-	{"gradient", 19, "47101153fd9c2d70"},
-	{"highway", 19, "d8651dfd2d1d0c4b"},
-	{"hotspot", 19, "4ba63ac108da097b"},
-	{"hotspot-busyhour", 19, "4ba63ac108da097b"},
-	{"hotspot-pedestrian", 19, "08d216e5f2a6cf9c"},
-	{"uniform", 19, "e13fac49d065e27d"},
+	{"baseline", 7, "74bf98b1c4a0df85"},
+	{"busyhour", 7, "74bf98b1c4a0df85"},
+	{"gradient", 7, "b3dd64c761cfbec8"},
+	{"highway", 7, "6f79ffb6d3498ac3"},
+	{"hotspot", 7, "30294046ae442980"},
+	{"hotspot-busyhour", 7, "30294046ae442980"},
+	{"hotspot-pedestrian", 7, "fd6fe11fb72b9841"},
+	{"uniform", 7, "74bf98b1c4a0df85"},
+	{"baseline", 19, "0dcec7a6be0fea2a"},
+	{"busyhour", 19, "0dcec7a6be0fea2a"},
+	{"gradient", 19, "a8fd24138cae1e1a"},
+	{"highway", 19, "24e23cc8a28565a8"},
+	{"hotspot", 19, "0f2065b0bf52ec34"},
+	{"hotspot-busyhour", 19, "0f2065b0bf52ec34"},
+	{"hotspot-pedestrian", 19, "4df1e9e2243b6227"},
+	{"uniform", 19, "0dcec7a6be0fea2a"},
 }
 
 // goldenConfig assembles the pinned run of one goldenDigests row.
@@ -175,7 +243,7 @@ func TestGoldenResultDigests(t *testing.T) {
 					cfg := goldenConfig(t, g.name, g.cells)
 					cfg.EventQueue = queue
 					res := mustRun(t, cfg, shards)
-					if got := resultsDigest(res); got != g.want {
+					if got := seedDigest(res); got != g.want {
 						t.Errorf("queue %d, %d shard(s): digest %s, want seed digest %s",
 							queue, shards, got, g.want)
 					}

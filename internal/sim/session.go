@@ -63,7 +63,7 @@ func (v *voiceCall) handover() {
 	v.departEv.Cancel()
 	departAt := v.departAt
 	c.putVoice(v)
-	c.env.dispatch(c, target, handoverMsg{kind: hoVoice, voice: voiceState{departAt: departAt}})
+	c.env.dispatch(c, target, handoverMsg{kind: hoVoice, voice: voiceState{departAt: departAt}, src: c.id})
 }
 
 // session is one GPRS packet-service session: an alternating sequence of
@@ -207,7 +207,7 @@ func (s *session) handover() {
 	c.sessionHandoversOut++
 	st := s.captureState()
 	s.end()
-	c.env.dispatch(c, target, handoverMsg{kind: hoSession, sess: st})
+	c.env.dispatch(c, target, handoverMsg{kind: hoSession, sess: st, src: c.id})
 }
 
 // captureState serializes the session's activity phase for handover transit.

@@ -273,6 +273,12 @@ func perCellMeasures(cells []*cell, acc *batchAccumulator, perStart []cellSnapsh
 		m.SessionHandoversOut = ho.sessOut - hoStart[i].sessOut
 		m.HandoverArrivals = ho.arrivals - hoStart[i].arrivals
 		m.HandoverFailures = ho.failures - hoStart[i].failures
+		m.GuardBlockedCalls = ho.guardBlocked - hoStart[i].guardBlocked
+		m.HandoversQueued = ho.queued - hoStart[i].queued
+		m.HandoverQueueServed = ho.served - hoStart[i].served
+		m.HandoverQueueExpired = ho.expired - hoStart[i].expired
+		m.HandoverRetries = ho.retries - hoStart[i].retries
+		m.HandoverTransitEnds = ho.transitEnds - hoStart[i].transitEnds
 		if m.PacketsOffered > 0 {
 			m.PacketLossProbability = float64(m.PacketsLost) / float64(m.PacketsOffered)
 		}
