@@ -1,7 +1,9 @@
 // Command gprs-bench is the performance harness of the repository: it runs a
 // pinned set of simulator workloads — the paper's base seven-cell Model 3
 // configuration on the serial engine, the 19-cell hotspot scenario on the
-// serial and the 4-shard engine, and an 8-replication runner fan-out — and
+// serial and the 4-shard engine, the city-scale 169-cell hotspot scenario on
+// the 8-group locality-partitioned engine, and an 8-replication runner
+// fan-out — and
 // emits one schema-versioned BENCH_<date>.json report (events/sec, ns/event,
 // allocs/event, B/event, host metadata) into -out.
 //
@@ -187,10 +189,10 @@ func baseConfig(cells int, quick bool) (sim.Config, error) {
 	return cfg, nil
 }
 
-// hotspotConfig is the pinned 19-cell heterogeneous workload: the hotspot
-// scenario preset on the wrap-around two-ring cluster.
-func hotspotConfig(quick bool) (sim.Config, error) {
-	cfg, err := baseConfig(19, quick)
+// hotspotConfig is the pinned heterogeneous workload: the hotspot scenario
+// preset on a wrap-around hex-ring cluster of the given size.
+func hotspotConfig(cells int, quick bool) (sim.Config, error) {
+	cfg, err := baseConfig(cells, quick)
 	if err != nil {
 		return sim.Config{}, err
 	}
@@ -223,18 +225,31 @@ func workloads(quick bool) []workload {
 			return simEvents(cfg, 1)
 		}},
 		{"serial/hotspot-19cell", func() (uint64, error) {
-			cfg, err := hotspotConfig(quick)
+			cfg, err := hotspotConfig(19, quick)
 			if err != nil {
 				return 0, err
 			}
 			return simEvents(cfg, 1)
 		}},
 		{"sharded4/hotspot-19cell", func() (uint64, error) {
-			cfg, err := hotspotConfig(quick)
+			cfg, err := hotspotConfig(19, quick)
 			if err != nil {
 				return 0, err
 			}
 			return simEvents(cfg, 4)
+		}},
+		{"sharded8/hotspot-169cell", func() (uint64, error) {
+			// City-scale point: the hotspot scenario on the 169-cell
+			// hex-ring preset, locality-partitioned into 8 cell groups. The
+			// horizon is halved against the small workloads to keep the
+			// harness wall time bounded at ~9x the cell count.
+			cfg, err := hotspotConfig(169, quick)
+			if err != nil {
+				return 0, err
+			}
+			cfg.WarmupSec /= 2
+			cfg.MeasurementSec /= 2
+			return simEvents(cfg, 8)
 		}},
 		{"runner/8rep-base-7cell", func() (uint64, error) {
 			cfg, err := baseConfig(7, quick)

@@ -56,6 +56,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/partition"
 	"repro/internal/policy"
 	"repro/internal/probe"
 	"repro/internal/runner"
@@ -85,8 +86,9 @@ func run(args []string) error {
 		vrName  = fs.String("vr", "none", "variance reduction for simulator points: none, antithetic, control")
 		target  = fs.String("target", "throughput", "measure watched by -precision: "+strings.Join(runner.MeasureNames(), ", "))
 		seed    = fs.Int64("seed", 1, "base seed of the simulator replications")
-		cells   = fs.Int("cells", 0, "simulated cluster size: 0/7 (paper), 19 or 37 (wrap-around hex rings)")
+		cells   = fs.Int("cells", 0, "simulated cluster size: 0/7 (paper) or a wrap-around hex-ring preset (cluster.PresetSizes)")
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per simulator replication (1 = serial engine)")
+		partFlg = fs.String("partition", "", "cell→group partitioning of -shards > 1 runs: kind[:groups] with kinds "+strings.Join(partition.Kinds(), ", ")+", or explicit JSON (default: locality); never affects results")
 		scnName = fs.String("scenario", "", "built-in workload scenario for all simulator runs: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
 		polName = fs.String("policy", "", "handover admission policy for all simulator runs (overrides the scenario's): "+strings.Join(policy.Names(), ", "))
@@ -139,6 +141,13 @@ func run(args []string) error {
 		SimSeed:         *seed,
 		Cells:           *cells,
 		Shards:          *shards,
+	}
+	if *partFlg != "" {
+		spec, err := partition.ParseSpec(*partFlg)
+		if err != nil {
+			return fmt.Errorf("-partition: %w", err)
+		}
+		opts.Partition = spec
 	}
 	if *full {
 		opts.Fidelity = experiments.Full

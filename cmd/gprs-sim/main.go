@@ -5,9 +5,13 @@
 // out across -workers CPUs and reports cross-replication intervals; the
 // merged results are bit-identical for a given (seed, replications) pair
 // regardless of the worker count. -cells selects the cluster size (7 is the
-// paper's cluster; 19 and 37 are generated wrap-around hex rings) and
-// -shards > 1 advances cell groups of each replication in parallel
-// conservative time windows — again without changing the results.
+// paper's cluster; the larger presets up to city scale — 19, 37, 61, ...,
+// 331 — are generated wrap-around hex rings) and -shards > 1 advances cell
+// groups of each replication in parallel conservative time windows — again
+// without changing the results. -partition pins the cell→group assignment
+// (kind[:groups] — locality, index-range — or an explicit JSON spec); the
+// default is the locality-aware grouping of internal/partition, and no
+// partitioning ever changes the results.
 //
 // -scenario installs a built-in heterogeneous-load workload scenario
 // (hotspot cells, load gradients, busy-hour ramps, highway corridors) and
@@ -57,6 +61,7 @@
 //	gprs-sim -rate 0.5 -precision 0.05 -max-reps 32
 //	gprs-sim -rate 0.5 -precision 0.05 -vr antithetic
 //	gprs-sim -rate 0.5 -cells 19 -shards 4
+//	gprs-sim -rate 0.5 -cells 61 -shards 4 -partition locality:4
 //	gprs-sim -rate 0.5 -cells 19 -scenario hotspot -percell
 //	gprs-sim -rate 0.5 -cells 19 -scenario highway -percell
 //	gprs-sim -rate 0.5 -scenario-file rush.json
@@ -69,9 +74,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/partition"
 	"repro/internal/policy"
 	"repro/internal/probe"
 	"repro/internal/runner"
@@ -102,8 +109,9 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 1, "base random seed")
 		reps    = fs.Int("replications", 1, "independent replications to run and merge")
 		workers = fs.Int("workers", 0, "concurrent replications (0 = NumCPU); also sizes adaptive growth batches — pin it to reproduce -precision runs across machines")
-		cells   = fs.Int("cells", 7, "cluster size: 7 (paper), 19 or 37 (wrap-around hex rings)")
+		cells   = fs.Int("cells", 7, "cluster size, one of "+intsLabel(cluster.PresetSizes())+" (7 is the paper's cluster, larger sizes are wrap-around hex rings)")
 		shards  = fs.Int("shards", 1, "cell groups advanced in parallel per replication (1 = serial engine)")
+		partFlg = fs.String("partition", "", "cell→group partitioning of -shards > 1 runs: kind[:groups] with kinds "+strings.Join(partition.Kinds(), ", ")+", or explicit JSON (default: locality, one group per shard); never affects results")
 		scnName = fs.String("scenario", "", "built-in workload scenario: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
 		polName = fs.String("policy", "", "handover admission policy (overrides the scenario's): "+strings.Join(policy.Names(), ", "))
@@ -154,6 +162,13 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	if *series != "" {
 		cfg.Probe = &probe.Spec{IntervalSec: *serieDT}
+	}
+	if *partFlg != "" {
+		spec, err := partition.ParseSpec(*partFlg)
+		if err != nil {
+			return fmt.Errorf("-partition: %w", err)
+		}
+		cfg.Partition = spec
 	}
 
 	scenarioLabel := "uniform (paper baseline)"
@@ -238,6 +253,15 @@ func run(args []string) error {
 			*series, len(sum.Series.Times), sum.Series.IntervalSec, sum.Series.Replications)
 	}
 	return nil
+}
+
+// intsLabel joins integer preset sizes into a "7, 19, 37, ..." flag label.
+func intsLabel(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // writeRunSeries writes a single-run probe series to path: JSON lines when

@@ -1,7 +1,11 @@
 // Package cluster models the cellular layout used by the paper's detailed
 // simulator: a cluster of seven hexagonal cells (one mid cell surrounded by
 // six neighbours). Handovers move users between neighbouring cells; the
-// performance measures are collected in the mid cell (Section 5.2).
+// performance measures are collected in the mid cell (Section 5.2). Beyond
+// the paper's cluster the package generates city-scale wrap-around lattices —
+// hexagonal balls of arbitrary radius (NewHexRing, up to 331 cells through
+// Preset) and rectangular city grids (NewCityGrid) — all closed toroidally so
+// handover flows stay balanced in every cell.
 package cluster
 
 import (
@@ -150,20 +154,79 @@ func abs(v int) int {
 	return v
 }
 
-// Preset returns the topology for a supported cluster size: 7 is the paper's
-// seven-cell hexagonal cluster, 19 and 37 are the generated wrap-around
-// hex-ring clusters (NewHexRing with 2 and 3 rings).
-func Preset(cells int) (*Topology, error) {
-	switch cells {
-	case 7:
-		return NewHexCluster(), nil
-	case 19:
-		return NewHexRing(2)
-	case 37:
-		return NewHexRing(3)
-	default:
-		return nil, fmt.Errorf("%w: unsupported cluster size %d (supported: 7, 19, 37)", ErrInvalidTopology, cells)
+// NewCityGrid returns a rectangular wrap-around city lattice of width x
+// height hexagonal cells: the cells tile a parallelogram-shaped patch of the
+// triangular lattice (axial coordinates q in [0, width), r in [0, height)),
+// closed toroidally along both axial directions so every cell has exactly six
+// neighbours and the topology is vertex-transitive — the metro-scale
+// counterpart of the wrap-around hex rings, shaped for street-grid scenarios
+// rather than radial ones. Cell 0 sits at the origin and doubles as the mid
+// cell; indices advance row-major (index = r*width + q). Both dimensions must
+// be at least 3 so the six wrap-around neighbours stay distinct.
+func NewCityGrid(width, height int) (*Topology, error) {
+	if width < 3 || height < 3 {
+		return nil, fmt.Errorf("%w: city grid needs width and height of at least 3, got %dx%d",
+			ErrInvalidTopology, width, height)
 	}
+	n := width * height
+	coords := make([]axial, 0, n)
+	for r := 0; r < height; r++ {
+		for q := 0; q < width; q++ {
+			coords = append(coords, axial{q, r})
+		}
+	}
+	mod := func(v, m int) int { return ((v % m) + m) % m }
+	directions := []axial{{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1}}
+	neighbors := make([][]int, n)
+	for i, c := range coords {
+		for _, d := range directions {
+			q := mod(c.q+d.q, width)
+			r := mod(c.r+d.r, height)
+			neighbors[i] = append(neighbors[i], r*width+q)
+		}
+	}
+	t := &Topology{numCells: n, neighbors: neighbors, coords: coords}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// maxPresetRing bounds the hex-ring sizes Preset enumerates: rings 1..10
+// cover 7 through 331 cells. NewHexRing itself accepts arbitrary radii; the
+// preset list exists so CLIs and tests can name city-scale sizes by cell
+// count alone.
+const maxPresetRing = 10
+
+// PresetSizes returns the cluster sizes Preset accepts, in ascending order:
+// the hexagonal ball sizes 3r(r+1)+1 for r = 1..10 (7, 19, 37, 61, 91, 127,
+// 169, 217, 271, 331 cells). The list is derived, not hard-coded, so it stays
+// in sync with the supported lattice generators — and so does the Preset
+// error message.
+func PresetSizes() []int {
+	sizes := make([]int, 0, maxPresetRing)
+	for r := 1; r <= maxPresetRing; r++ {
+		sizes = append(sizes, 3*r*(r+1)+1)
+	}
+	return sizes
+}
+
+// Preset returns the topology for a supported cluster size: 7 is the paper's
+// seven-cell hexagonal cluster, every other size of PresetSizes is the
+// generated wrap-around hex-ring cluster of the matching radius (19, 37, 61,
+// ... 331 cells for NewHexRing with 2..10 rings). For lattice shapes the size
+// list cannot name, call NewHexRing or NewCityGrid directly.
+func Preset(cells int) (*Topology, error) {
+	if cells == 7 {
+		return NewHexCluster(), nil
+	}
+	for r := 2; r <= maxPresetRing; r++ {
+		if 3*r*(r+1)+1 == cells {
+			return NewHexRing(r)
+		}
+	}
+	return nil, fmt.Errorf("%w: unsupported cluster size %d (supported: %v)",
+		ErrInvalidTopology, cells, PresetSizes())
 }
 
 // NewRing returns a ring of n cells (each cell has two neighbours). It is

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -147,13 +150,16 @@ func TestPresetTopologiesAreConnected(t *testing.T) {
 }
 
 func TestPreset(t *testing.T) {
-	for _, n := range []int{7, 19, 37} {
+	for _, n := range PresetSizes() {
 		topo, err := Preset(n)
 		if err != nil {
 			t.Fatalf("Preset(%d): %v", n, err)
 		}
 		if topo.NumCells() != n {
 			t.Errorf("Preset(%d) has %d cells", n, topo.NumCells())
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("Preset(%d) invalid: %v", n, err)
 		}
 	}
 	// The paper's cluster keeps its hand-built shape: degree-4 ring cells.
@@ -164,9 +170,81 @@ func TestPreset(t *testing.T) {
 	if topo.Degree(1) != 4 {
 		t.Errorf("Preset(7) should be the seed cluster, ring degree = %d", topo.Degree(1))
 	}
-	for _, n := range []int{0, 1, 8, 61} {
+	for _, n := range []int{0, 1, 8, 40, 332} {
 		if _, err := Preset(n); err == nil {
 			t.Errorf("Preset(%d) should be rejected", n)
+		}
+	}
+}
+
+// TestPresetSizes pins the derived preset list: the hexagonal ball sizes in
+// ascending order, containing the city-scale steps the CLIs advertise.
+func TestPresetSizes(t *testing.T) {
+	sizes := PresetSizes()
+	want := []int{7, 19, 37, 61, 91, 127, 169, 217, 271, 331}
+	if !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("PresetSizes() = %v, want %v", sizes, want)
+	}
+}
+
+// TestPresetErrorEnumeratesSizes is the error-path pin for the dynamic size
+// list: the rejection message must name every supported size, so it cannot go
+// stale as new lattice radii join PresetSizes.
+func TestPresetErrorEnumeratesSizes(t *testing.T) {
+	_, err := Preset(42)
+	if err == nil {
+		t.Fatal("Preset(42) should be rejected")
+	}
+	if !errors.Is(err, ErrInvalidTopology) {
+		t.Errorf("Preset error should wrap ErrInvalidTopology, got %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, fmt.Sprintf("%v", PresetSizes())) {
+		t.Errorf("Preset error %q should enumerate the supported sizes %v", msg, PresetSizes())
+	}
+}
+
+// TestCityGrid checks the rectangular wrap-around city lattice: w*h cells,
+// every cell with six distinct neighbours, symmetric, flow-balanced,
+// connected, and carrying a hex embedding for corridor scenarios.
+func TestCityGrid(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {4, 6}, {8, 5}} {
+		w, h := dims[0], dims[1]
+		topo, err := NewCityGrid(w, h)
+		if err != nil {
+			t.Fatalf("NewCityGrid(%d, %d): %v", w, h, err)
+		}
+		if topo.NumCells() != w*h {
+			t.Fatalf("NewCityGrid(%d, %d) has %d cells", w, h, topo.NumCells())
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("NewCityGrid(%d, %d) invalid: %v", w, h, err)
+		}
+		for c := 0; c < topo.NumCells(); c++ {
+			if topo.Degree(c) != 6 {
+				t.Errorf("%dx%d: cell %d degree = %d, want 6", w, h, c, topo.Degree(c))
+			}
+			seen := make(map[int]bool)
+			for _, nb := range topo.Neighbors(c) {
+				if seen[nb] {
+					t.Errorf("%dx%d: cell %d lists neighbour %d twice", w, h, c, nb)
+				}
+				seen[nb] = true
+			}
+			if sum := inflowSum(topo, c); math.Abs(sum-1) > 1e-12 {
+				t.Errorf("%dx%d: cell %d inflow sum = %v, want 1", w, h, c, sum)
+			}
+		}
+		if topo.Eccentricity(MidCell) < 0 {
+			t.Errorf("%dx%d: grid is disconnected", w, h)
+		}
+		if topo.AxisDistances(MidCell, 0) == nil {
+			t.Errorf("%dx%d: city grid should carry a hex embedding", w, h)
+		}
+	}
+	for _, dims := range [][2]int{{0, 3}, {2, 5}, {5, 2}, {-1, 4}} {
+		if _, err := NewCityGrid(dims[0], dims[1]); err == nil {
+			t.Errorf("NewCityGrid(%d, %d) should be rejected", dims[0], dims[1])
 		}
 	}
 }

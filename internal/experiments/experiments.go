@@ -61,6 +61,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ctmc"
+	"repro/internal/partition"
 	"repro/internal/policy"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -148,6 +149,11 @@ type Options struct {
 	// still bounded — together with all other work — by the shared limiter.
 	// Results are identical to the serial engine.
 	Shards int
+	// Partition, when non-nil, pins the cell→group assignment of the sharded
+	// engine (internal/partition) on every simulator run; nil keeps the
+	// default locality-aware grouping with one group per worker. Like Shards
+	// it never affects results, only how the run is scheduled.
+	Partition *partition.Spec
 	// Scenario, when non-nil, installs the heterogeneous-load workload
 	// scenario (hotspot cells, load gradients, busy-hour ramps — see
 	// internal/scenario) on every simulator run. The analytical model knows
@@ -426,6 +432,7 @@ func simulateSweep(o Options, figID string, model traffic.Model, rates []float64
 	err := runner.ForEach(nil, len(rates), func(i int) error {
 		cfg := simConfig(o, model, rates[i])
 		cfg.Topology = topo
+		cfg.Partition = o.Partition
 		if mutate != nil {
 			mutate(&cfg)
 		}

@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// Partitioner kinds accepted by Spec and ParseSpec.
+const (
+	KindIndexRange = "index-range"
+	KindLocality   = "locality"
+	KindExplicit   = "explicit"
+)
+
+// Kinds returns the supported partitioner kinds in canonical order.
+func Kinds() []string { return []string{KindIndexRange, KindLocality, KindExplicit} }
+
+// Spec selects and parameterises a partitioner. It is the JSON shape of
+// sim.Config.Partition and of the CLIs' -partition flag. Groups <= 0 means
+// "use the engine's worker count"; Explicit is only valid (and required) for
+// kind "explicit".
+type Spec struct {
+	// Kind names the partitioner: "index-range", "locality", or "explicit".
+	Kind string `json:"kind"`
+	// Groups is the requested group count; 0 defers to the worker count.
+	Groups int `json:"groups,omitempty"`
+	// Explicit lists the member cells of every group (kind "explicit" only).
+	Explicit [][]int `json:"explicit,omitempty"`
+}
+
+// Validate checks the spec's internal consistency. Explicit group contents
+// are validated against the topology later, in Build.
+func (s *Spec) Validate() error {
+	switch s.Kind {
+	case KindIndexRange, KindLocality:
+		if len(s.Explicit) > 0 {
+			return fmt.Errorf("%w: kind %q does not take explicit groups", ErrInvalidPartition, s.Kind)
+		}
+	case KindExplicit:
+		if len(s.Explicit) == 0 {
+			return fmt.Errorf("%w: kind %q requires explicit groups", ErrInvalidPartition, s.Kind)
+		}
+		if s.Groups != 0 && s.Groups != len(s.Explicit) {
+			return fmt.Errorf("%w: groups=%d contradicts %d explicit groups", ErrInvalidPartition, s.Groups, len(s.Explicit))
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %q (supported: %s)", ErrInvalidPartition, s.Kind, strings.Join(Kinds(), ", "))
+	}
+	if s.Groups < 0 {
+		return fmt.Errorf("%w: negative group count %d", ErrInvalidPartition, s.Groups)
+	}
+	return nil
+}
+
+// Build resolves the spec against a topology into a concrete Assignment.
+// weights is the expected per-cell load (nil = uniform; only the locality
+// partitioner uses it) and workers is the engine's resolved worker count,
+// used as the group count when the spec does not pin one. The group count is
+// clamped to [1, NumCells].
+func (s *Spec) Build(topo *cluster.Topology, weights []float64, workers int) (*Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("%w: nil topology", ErrInvalidPartition)
+	}
+	k := s.Groups
+	if k <= 0 {
+		k = workers
+	}
+	k = clampGroups(k, topo.NumCells())
+	switch s.Kind {
+	case KindIndexRange:
+		return IndexRange(topo.NumCells(), k)
+	case KindLocality:
+		return Locality(topo, weights, k)
+	default: // KindExplicit, already validated
+		return FromGroups(topo.NumCells(), s.Explicit)
+	}
+}
+
+// String renders the spec in the compact form ParseSpec accepts, falling back
+// to JSON for explicit groupings.
+func (s *Spec) String() string {
+	if s.Kind == KindExplicit {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return fmt.Sprintf("explicit:%v", s.Explicit)
+		}
+		return string(b)
+	}
+	if s.Groups > 0 {
+		return fmt.Sprintf("%s:%d", s.Kind, s.Groups)
+	}
+	return s.Kind
+}
+
+// ParseSpec parses a partition spec from its flag/JSON syntax. The compact
+// form is "kind" or "kind:groups" (e.g. "locality", "index-range:4"); a
+// string starting with '{' is parsed as the JSON form of Spec with unknown
+// fields rejected, e.g. {"kind":"explicit","explicit":[[0,1],[2,3,4,5,6]]}.
+// The returned spec is Validated.
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty spec", ErrInvalidPartition)
+	}
+	var spec Spec
+	if s[0] == '{' {
+		dec := json.NewDecoder(bytes.NewReader([]byte(s)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidPartition, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("%w: trailing data after JSON spec", ErrInvalidPartition)
+		}
+	} else {
+		kind, groups, found := strings.Cut(s, ":")
+		spec.Kind = kind
+		if found {
+			n, err := strconv.Atoi(groups)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%w: bad group count %q in spec %q", ErrInvalidPartition, groups, s)
+			}
+			spec.Groups = n
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}

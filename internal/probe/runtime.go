@@ -2,6 +2,7 @@ package probe
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -50,6 +51,14 @@ type Runtime struct {
 	// of the most recently completed run's calendars.
 	FreeEvents atomic.Uint64
 
+	// mu guards groupEvents, the registry's only non-scalar field; it is
+	// written once per completed sharded run, never on the event hot path.
+	mu sync.Mutex
+	// groupEvents is a latest-run gauge like FreeEvents: the per-group
+	// processed-event counts of the most recently completed sharded run,
+	// indexed by partition group. Empty until a sharded run completes.
+	groupEvents []uint64
+
 	start time.Time
 }
 
@@ -70,6 +79,27 @@ func (r *Runtime) SetAdaptive(relHalfWidth float64, converged bool) {
 		c = 1
 	}
 	r.AdaptiveConverged.Store(c)
+}
+
+// SetGroupEvents records the per-group processed-event counts of the most
+// recently completed sharded run (a latest-run gauge, like FreeEvents). The
+// slice is copied.
+func (r *Runtime) SetGroupEvents(counts []uint64) {
+	copied := append([]uint64(nil), counts...)
+	r.mu.Lock()
+	r.groupEvents = copied
+	r.mu.Unlock()
+}
+
+// GroupEvents returns a copy of the latest sharded run's per-group event
+// counts, or nil when no sharded run has completed.
+func (r *Runtime) GroupEvents() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.groupEvents == nil {
+		return nil
+	}
+	return append([]uint64(nil), r.groupEvents...)
 }
 
 // Snapshot is a point-in-time copy of a Runtime registry with derived rates,
@@ -97,6 +127,9 @@ type Snapshot struct {
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses).
 	PoolHitRate float64 `json:"pool_hit_rate"`
 	FreeEvents  uint64  `json:"free_events"`
+	// GroupEvents is the per-partition-group event breakdown of the most
+	// recently completed sharded run; absent until one completes.
+	GroupEvents []uint64 `json:"group_events,omitempty"`
 }
 
 // Snapshot captures the registry with derived rates.
@@ -118,6 +151,7 @@ func (r *Runtime) Snapshot() Snapshot {
 		PoolHits:            r.PoolHits.Load(),
 		PoolMisses:          r.PoolMisses.Load(),
 		FreeEvents:          r.FreeEvents.Load(),
+		GroupEvents:         r.GroupEvents(),
 	}
 	if s.UptimeSec > 0 {
 		s.EventsPerSec = float64(s.EventsProcessed) / s.UptimeSec

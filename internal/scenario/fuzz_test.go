@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// FuzzScenarioParse checks the scenario JSON parser never panics and that
+// every spec it accepts re-validates, round-trips through its own JSON
+// encoding, and compiles against a small topology without panicking. The
+// corpus is seeded from every built-in preset (their canonical JSON forms)
+// plus hand-picked malformed inputs. Run continuously with:
+//
+//	go test -run '^$' -fuzz FuzzScenarioParse ./internal/scenario -fuzztime 30s
+func FuzzScenarioParse(f *testing.F) {
+	for _, name := range Names() {
+		spec, err := Preset(name)
+		if err != nil {
+			f.Fatalf("preset %s: %v", name, err)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			f.Fatalf("preset %s: %v", name, err)
+		}
+		f.Add(data)
+	}
+	seeds := []string{
+		`{}`,
+		`{"spatial":{"kind":"uniform"}}`,
+		`{"spatial":{"kind":"hotspot","center":0,"peak":4,"decay":1.5}}`,
+		`{"spatial":{"kind":"uniform"},"temporal":{"kind":"steps","steps":[{"at_sec":0,"scale":1}]}}`,
+		`{"spatial":{"kind":"corridor","axis":1},"mobility":{"spatial":{"kind":"uniform"}}}`,
+		`{"spatial":{"kind":"uniform"},"policy":{"kind":"guard","guard":2}}`,
+		`{"spatial":{"kind":"bogus"}}`,
+		`{"spatial":{"kind":"hotspot","peak":-1}}`,
+		`{"typo":1}`,
+		`{"spatial":`,
+		``,
+		`null`,
+		`[1,2,3]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	topo := cluster.NewHexCluster()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted spec failing Validate: %v", data, err)
+		}
+		// A parsed spec must survive its own JSON round trip.
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q) produced unmarshalable spec: %v", data, err)
+		}
+		again, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q) failed: %v", enc, data, err)
+		}
+		if err := again.Validate(); err != nil {
+			t.Fatalf("round-tripped spec fails Validate: %v", err)
+		}
+		// Compiling may legitimately fail (e.g. a center outside the 7-cell
+		// topology) but must not panic, and a successful compile must yield
+		// sane rates at time zero.
+		prof, err := spec.Compile(topo, 0.475, 0.025)
+		if err != nil {
+			return
+		}
+		for c := 0; c < topo.NumCells(); c++ {
+			v, d := prof.Rates(c, 0)
+			if v < 0 || d < 0 || v != v || d != d {
+				t.Fatalf("Parse(%q): compiled profile yields bad rates (%v, %v) in cell %d", data, v, d, c)
+			}
+		}
+	})
+}

@@ -115,6 +115,14 @@ type Options struct {
 	// processes on the calling goroutine. The grouping never affects results,
 	// only the available parallelism.
 	Shards int
+	// Groups, when non-nil, assigns processes to shards explicitly: Groups[s]
+	// lists the process indices shard s advances. Every process must appear
+	// in exactly one group and every group must be non-empty; Shards is
+	// ignored and the worker count is len(Groups). Like the automatic split,
+	// the grouping never affects results — it only decides which processes
+	// share a worker (for internal/sim, internal/partition computes
+	// locality-aware groupings).
+	Groups [][]int
 	// Limiter, when non-nil, is acquired by each shard for the duration of
 	// one window's work, so shard-level parallelism composes with outer
 	// fan-outs (replications, sweep points) under one shared bound. Shards
@@ -164,18 +172,45 @@ func New(procs []Process, opt Options) (*Engine, error) {
 	if opt.Lookahead <= 0 || math.IsNaN(opt.Lookahead) || math.IsInf(opt.Lookahead, 0) {
 		return nil, fmt.Errorf("%w: lookahead %v", ErrInvalidEngine, opt.Lookahead)
 	}
-	if opt.Shards <= 0 {
-		opt.Shards = runtime.NumCPU()
-	}
-	if opt.Shards > len(procs) {
-		opt.Shards = len(procs)
-	}
-	// Contiguous blocks of near-equal size; the split is cosmetic for
-	// results (any grouping yields identical output) but balances work.
-	groups := make([][]int, opt.Shards)
-	for i := range procs {
-		g := i * opt.Shards / len(procs)
-		groups[g] = append(groups[g], i)
+	var groups [][]int
+	if opt.Groups != nil {
+		seen := make([]bool, len(procs))
+		groups = make([][]int, len(opt.Groups))
+		for s, group := range opt.Groups {
+			if len(group) == 0 {
+				return nil, fmt.Errorf("%w: group %d is empty", ErrInvalidEngine, s)
+			}
+			groups[s] = append([]int(nil), group...)
+			for _, pi := range group {
+				if pi < 0 || pi >= len(procs) {
+					return nil, fmt.Errorf("%w: group %d lists out-of-range process %d", ErrInvalidEngine, s, pi)
+				}
+				if seen[pi] {
+					return nil, fmt.Errorf("%w: process %d assigned to two groups", ErrInvalidEngine, pi)
+				}
+				seen[pi] = true
+			}
+		}
+		for pi, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("%w: process %d not assigned to any group", ErrInvalidEngine, pi)
+			}
+		}
+		opt.Shards = len(groups)
+	} else {
+		if opt.Shards <= 0 {
+			opt.Shards = runtime.NumCPU()
+		}
+		if opt.Shards > len(procs) {
+			opt.Shards = len(procs)
+		}
+		// Contiguous blocks of near-equal size; the split is cosmetic for
+		// results (any grouping yields identical output) but balances work.
+		groups = make([][]int, opt.Shards)
+		for i := range procs {
+			g := i * opt.Shards / len(procs)
+			groups[g] = append(groups[g], i)
+		}
 	}
 	return &Engine{procs: procs, opt: opt, groups: groups}, nil
 }

@@ -114,6 +114,52 @@ func TestEngineValidation(t *testing.T) {
 	}
 }
 
+func TestExplicitGroupValidation(t *testing.T) {
+	ring := newRing(4, 1)
+	procs := make([]Process, len(ring))
+	for i, p := range ring {
+		procs[i] = p
+	}
+	bad := [][][]int{
+		{{0, 1}, {}},        // empty group
+		{{0, 1}, {2, 4}},    // out of range
+		{{0, 1}, {2, -1}},   // negative index
+		{{0, 1}, {1, 2, 3}}, // duplicate
+		{{0, 1}, {2}},       // uncovered process
+	}
+	for _, groups := range bad {
+		if _, err := New(procs, Options{Lookahead: 1, Groups: groups}); !errors.Is(err, ErrInvalidEngine) {
+			t.Errorf("groups %v should be rejected, got err %v", groups, err)
+		}
+	}
+	eng, err := New(procs, Options{Lookahead: 1, Shards: 3, Groups: [][]int{{0, 2}, {1, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit groups override Shards.
+	if eng.Shards() != 2 {
+		t.Errorf("Shards() = %d with 2 explicit groups", eng.Shards())
+	}
+}
+
+func TestDeterministicAcrossExplicitGroups(t *testing.T) {
+	const n, delay = 9, 0.5
+	base := runRing(t, n, delay, Options{Lookahead: delay, Shards: 1})
+	layouts := [][][]int{
+		{{0, 1, 2, 3, 4, 5, 6, 7, 8}},                 // 1 group
+		{{0, 2, 4, 6, 8}, {1, 3, 5, 7}},               // interleaved
+		{{8, 7, 6}, {5, 4, 3}, {2, 1, 0}},             // reversed blocks
+		{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}, // one per process
+		{{4}, {0, 8}, {1, 2, 3, 5, 6, 7}},             // lopsided
+	}
+	for _, groups := range layouts {
+		got := runRing(t, n, delay, Options{Lookahead: delay, Groups: groups})
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("explicit groups %v produced different logs than shards=1", groups)
+		}
+	}
+}
+
 func TestDeterministicAcrossShardLayouts(t *testing.T) {
 	const n, delay = 9, 0.5
 	base := runRing(t, n, delay, Options{Lookahead: delay, Shards: 1})

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/partition"
 	"repro/internal/policy"
 	"repro/internal/probe"
 	"repro/internal/radio"
@@ -117,6 +118,16 @@ type Config struct {
 	// the same Seed and the two kinds form an antithetic pair — the
 	// variance-reduction mode of the replication runner sets this field.
 	Streams des.StreamKind
+
+	// Partition selects how the sharded engine groups cells into shard
+	// calendars (see internal/partition): each group shares one event
+	// calendar and only cross-group handovers travel as window-barrier
+	// messages. A nil value means the locality-aware partitioner with one
+	// group per worker. Like the shard layout itself, the partitioning never
+	// affects results — every valid assignment is bit-identical to the
+	// serial engine (pinned by the partition-equivalence suite) — it only
+	// shifts load balance and barrier traffic. The serial engine ignores it.
+	Partition *partition.Spec
 
 	// EventQueue selects the event-list implementation of the engine's
 	// calendars. The zero value (des.HeapQueue) is the binary-heap reference;
@@ -240,6 +251,11 @@ func (c Config) Validate() error {
 	}
 	if c.EnableTCP {
 		if err := c.TCP.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	if c.Partition != nil {
+		if err := c.Partition.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 		}
 	}

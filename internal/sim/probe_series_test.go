@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/partition"
 	"repro/internal/probe"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -239,12 +240,16 @@ func checkSeriesCSVRoundTrip(t *testing.T, ser *probe.Series, res sim.Results, m
 	}
 }
 
-// TestShardBarrierMessageConservation ties the shard engine's new barrier
+// TestShardBarrierMessageConservation ties the shard engine's barrier
 // counters to the handover-flow ledger: on a drained, gated run (the
-// handover-conservation workload) every dispatched handover is merged at
-// exactly one window barrier, so Stats().MergedMessages equals the cells'
+// handover-conservation workload) every cross-group handover is merged at
+// exactly one window barrier. Under a one-cell-per-group partition every
+// handover is cross-group, so Stats().MergedMessages equals the cells'
 // summed handover departures — which the conservation suite already proves
-// equal to the summed arrivals.
+// equal to the summed arrivals. Under the default locality grouping the
+// intra-group handovers bypass the barrier, so the merged count falls
+// strictly below the departures while the results stay bit-identical (the
+// partition-equivalence suite pins that part).
 func TestShardBarrierMessageConservation(t *testing.T) {
 	preset, err := scenario.Preset("hotspot-pedestrian")
 	if err != nil {
@@ -254,8 +259,10 @@ func TestShardBarrierMessageConservation(t *testing.T) {
 	if _, err := scenario.Apply(&cfg, gated(preset)); err != nil {
 		t.Fatal(err)
 	}
+	perCell := cfg
+	perCell.Partition = &partition.Spec{Kind: partition.KindIndexRange, Groups: 7}
 	for _, shards := range []int{2, 4} {
-		e, err := sim.NewSharded(cfg, sim.ShardedOptions{Shards: shards})
+		e, err := sim.NewSharded(perCell, sim.ShardedOptions{Shards: shards})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -282,6 +289,34 @@ func TestShardBarrierMessageConservation(t *testing.T) {
 		if st.MergedMessages != uint64(out) {
 			t.Errorf("%d shards: %d messages merged at barriers, want the %d handover departures",
 				shards, st.MergedMessages, out)
+		}
+
+		// Same run under the locality grouping: the groups absorb part of the
+		// handover flow, so the barrier must see strictly less than all
+		// departures (and the per-group event counts must cover every event).
+		g, err := sim.NewSharded(cfg, sim.ShardedOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gres, err := g.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Partition().NumGroups() != shards {
+			t.Errorf("%d shards: default partition has %d groups", shards, g.Partition().NumGroups())
+		}
+		gst := g.ShardStats()
+		if gst.MergedMessages >= uint64(out) {
+			t.Errorf("%d shards: locality grouping merged %d messages, want strictly below the %d departures",
+				shards, gst.MergedMessages, out)
+		}
+		var groupTotal uint64
+		for _, n := range g.GroupEvents() {
+			groupTotal += n
+		}
+		if groupTotal != gres.Events {
+			t.Errorf("%d shards: group event counts sum to %d, run processed %d",
+				shards, groupTotal, gres.Events)
 		}
 	}
 }

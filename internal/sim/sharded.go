@@ -2,18 +2,22 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/partition"
 	"repro/internal/probe"
 	"repro/internal/shard"
 )
 
 // ShardedOptions configures the shard-parallel engine.
 type ShardedOptions struct {
-	// Shards is the number of cell groups advanced in parallel; the zero
-	// value means min(NumCPU, cells). The grouping never affects results —
-	// a given (seed, configuration) is bit-identical for every shard and
+	// Shards is the number of workers advancing cell groups in parallel; the
+	// zero value means min(NumCPU, number of groups). It also sets the
+	// default group count when Config.Partition does not pin one. Neither
+	// the worker count nor the grouping ever affects results — a given
+	// (seed, configuration) is bit-identical for every partitioning and
 	// worker count, and identical to the serial engine.
 	Shards int
 	// Limiter, when non-nil, bounds the shard workers together with outer
@@ -24,83 +28,93 @@ type ShardedOptions struct {
 }
 
 // Sharded runs the detailed network-level model with one event calendar per
-// cell, advanced in conservative time windows by the shard engine. The window
-// length (synchronization lookahead) is the handover latency: handovers are
-// the only cross-cell interaction, and a handover decided at time t takes
-// effect at t + HandoverLatencySec, so no message can arrive inside the
-// window that produced it. Cross-shard handovers are merged deterministically
-// by (timestamp, source cell, sequence number), which makes the results
-// reproducible regardless of the worker count or shard layout.
+// cell group, advanced in conservative time windows by the shard engine. The
+// cell→group assignment comes from Config.Partition (internal/partition;
+// locality-aware grouping by default), cells of one group interact directly
+// on their shared calendar exactly like the serial engine, and only
+// cross-group handovers travel as barrier messages. The window length
+// (synchronization lookahead) is the handover latency: handovers are the only
+// cross-cell interaction, and a handover decided at time t takes effect at
+// t + HandoverLatencySec, so no message can arrive inside the window that
+// produced it. Cross-group handovers are merged deterministically by
+// (timestamp, source group, sequence number), which makes the results
+// reproducible regardless of the partitioning, worker count, or shard layout.
 type Sharded struct {
 	config Config
 	bpp    int
 	cells  []*cell
-	procs  []*cellProc
+	groups []*groupProc
+	part   *partition.Assignment
 	engine *shard.Engine
 	pstate *probeState
 }
 
-// cellProc adapts one cell (with its private calendar) to the shard engine's
-// Process interface, buffering outbound handovers until the window barrier.
-type cellProc struct {
-	cell   *cell
+// groupProc adapts one cell group (with its shared calendar) to the shard
+// engine's Process interface, buffering outbound cross-group handovers until
+// the window barrier.
+type groupProc struct {
+	id     int
+	eng    *des.Simulation
 	outbox []shard.Message
 	seq    uint64
 
 	// free recycles handover transit records. A record is acquired from the
-	// source proc's pool at dispatch and released into the destination proc's
-	// pool when its delivery fires — each pool is only ever touched by the
-	// goroutine currently advancing its proc (or by the barrier), so no
-	// locking is needed.
-	free []*shardTransit
+	// source group's pool at dispatch and released into the destination
+	// group's pool when its delivery fires — each pool is only ever touched
+	// by the goroutine currently advancing its group (or by the barrier), so
+	// no locking is needed. Intra-group handovers acquire and release on the
+	// same pool, like the serial engine's freelist.
+	free []*groupTransit
 }
 
-// shardTransit is one handover message in flight between cells of the sharded
+// groupTransit is one handover message in flight between cells of the sharded
 // engine. It rides as the message Payload (a pointer, so boxing into the
 // interface does not allocate); fn is bound to the record once, at first
 // allocation, so dispatch and delivery allocate nothing in steady state.
-type shardTransit struct {
-	dst *cellProc
-	msg handoverMsg
-	fn  func()
+type groupTransit struct {
+	grp  *groupProc // pool that receives the record back after delivery
+	cell *cell      // destination cell
+	msg  handoverMsg
+	fn   func()
 }
 
-func (p *cellProc) getTransit() *shardTransit {
+func (p *groupProc) getTransit() *groupTransit {
 	if n := len(p.free); n > 0 {
 		t := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 		return t
 	}
-	t := &shardTransit{}
+	t := &groupTransit{}
 	t.fn = func() {
-		d := t.dst
-		d.cell.receive(t.msg)
+		g := t.grp
+		t.cell.receive(t.msg)
 		t.msg = handoverMsg{}
-		t.dst = nil
-		d.free = append(d.free, t)
+		t.cell = nil
+		t.grp = nil
+		g.free = append(g.free, t)
 	}
 	return t
 }
 
 // Advance resets the outbox of the previous window (its messages were merged
-// at the barrier), runs the cell's calendar, and returns the buffered
+// at the barrier), runs the group's calendar, and returns the buffered
 // messages without copying — the shard engine consumes the slice before this
-// proc's next Advance call.
-func (p *cellProc) Advance(t float64) []shard.Message {
+// group's next Advance call.
+func (p *groupProc) Advance(t float64) []shard.Message {
 	p.outbox = p.outbox[:0]
-	p.cell.eng.RunUntil(t)
+	p.eng.RunUntil(t)
 	if len(p.outbox) == 0 {
 		return nil
 	}
 	return p.outbox
 }
 
-func (p *cellProc) Deliver(m shard.Message) {
-	t := m.Payload.(*shardTransit)
-	t.dst = p
-	if _, err := p.cell.eng.Schedule(m.At, t.fn); err != nil {
-		// The shard engine guarantees m.At is at or beyond this cell's
+func (p *groupProc) Deliver(m shard.Message) {
+	t := m.Payload.(*groupTransit)
+	t.grp = p
+	if _, err := p.eng.Schedule(m.At, t.fn); err != nil {
+		// The shard engine guarantees m.At is at or beyond this group's
 		// clock, and Schedule accepts the current time.
 		panic(err)
 	}
@@ -153,20 +167,50 @@ func RunOnceSeries(cfg Config, opt ShardedOptions) (Results, *probe.Series, erro
 	return res, s.Series(), nil
 }
 
-// NewSharded validates the configuration and builds a sharded simulator. Like
-// a Simulator it is single-use; Run may use up to Shards goroutines.
+// NewSharded validates the configuration, resolves the cell→group partition,
+// and builds a sharded simulator. Like a Simulator it is single-use; Run may
+// use up to Shards goroutines. When Config.Partition is nil the cells are
+// grouped by the locality-aware partitioner into one group per worker, using
+// the rate profile's integrated per-cell load as weights.
 func NewSharded(cfg Config, opt ShardedOptions) (*Sharded, error) {
-	s := &Sharded{}
-	var err error
-	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(int) *des.Simulation { return des.NewSimulationQueue(cfg.EventQueue) })
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Resolve the partition against the defaulted configuration: group
+	// calendars are created per group and shared by the member cells, so the
+	// assignment must exist before the cells do. buildCells re-applies the
+	// same validation and defaulting, which is idempotent.
+	dcfg := cfg.withDefaults()
+	workers := opt.Shards
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if n := dcfg.Topology.NumCells(); workers > n {
+		workers = n
+	}
+	spec := dcfg.Partition
+	if spec == nil {
+		spec = &partition.Spec{Kind: partition.KindLocality}
+	}
+	assign, err := spec.Build(dcfg.Topology, cellLoadWeights(dcfg), workers)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+
+	s := &Sharded{part: assign}
+	calendars := make([]*des.Simulation, assign.NumGroups())
+	for g := range calendars {
+		calendars[g] = des.NewSimulationQueue(cfg.EventQueue)
+	}
+	s.config, s.bpp, s.cells, err = buildCells(cfg, s, func(i int) *des.Simulation { return calendars[assign.Of(i)] })
 	if err != nil {
 		return nil, err
 	}
-	s.procs = make([]*cellProc, len(s.cells))
-	procs := make([]shard.Process, len(s.cells))
-	for i, c := range s.cells {
-		s.procs[i] = &cellProc{cell: c}
-		procs[i] = s.procs[i]
+	s.groups = make([]*groupProc, assign.NumGroups())
+	procs := make([]shard.Process, assign.NumGroups())
+	for g := range s.groups {
+		s.groups[g] = &groupProc{id: g, eng: calendars[g]}
+		procs[g] = s.groups[g]
 	}
 	engine, err := shard.New(procs, shard.Options{
 		Lookahead: s.config.HandoverLatencySec,
@@ -190,12 +234,34 @@ func (s *Sharded) Config() Config { return s.config }
 // MidCell returns the index of the measured cell.
 func (s *Sharded) MidCell() int { return cluster.MidCell }
 
-// Shards returns the number of cell groups advanced in parallel.
+// Shards returns the number of workers advancing cell groups in parallel.
 func (s *Sharded) Shards() int { return s.engine.Shards() }
 
+// Partition returns the resolved cell→group assignment of this simulator.
+func (s *Sharded) Partition() *partition.Assignment { return s.part }
+
+// GroupEvents returns the events processed so far on every group's calendar,
+// indexed by partition group — the per-group load breakdown the telemetry
+// registry publishes at run end.
+func (s *Sharded) GroupEvents() []uint64 {
+	out := make([]uint64, len(s.groups))
+	for g, p := range s.groups {
+		out[g] = p.eng.ProcessedEvents()
+	}
+	return out
+}
+
 // Run executes warm-up plus the measurement period and returns the mid-cell
-// results.
-func (s *Sharded) Run() (Results, error) { return collectRun(s) }
+// results. On success the per-group event counts are published to the
+// process-wide telemetry registry (probe.Default).
+func (s *Sharded) Run() (Results, error) {
+	res, err := collectRun(s)
+	if err != nil {
+		return res, err
+	}
+	probe.Default.SetGroupEvents(s.GroupEvents())
+	return res, nil
+}
 
 // Series returns the sim-time series recorded by the run, or nil when
 // Config.Probe was unset (or Run has not executed yet).
@@ -207,9 +273,12 @@ func (s *Sharded) Series() *probe.Series {
 }
 
 // ShardStats returns the shard engine's cumulative synchronization counters:
-// windows advanced and handover messages merged at window barriers. Every
-// cross-cell handover travels as exactly one barrier message, so
-// MergedMessages equals the cells' summed handover departures.
+// windows advanced and handover messages merged at window barriers. Only
+// cross-group handovers travel as barrier messages (intra-group handovers are
+// scheduled directly on the group calendar), so MergedMessages equals the
+// cells' summed cross-group handover departures — with a one-cell-per-group
+// partition that is every handover departure, the historic per-cell-shard
+// accounting.
 func (s *Sharded) ShardStats() shard.Stats { return s.engine.Stats() }
 
 func (s *Sharded) conf() *Config             { return &s.config }
@@ -221,34 +290,50 @@ func (s *Sharded) advanceTo(t float64) error { return s.engine.AdvanceTo(t) }
 
 func (s *Sharded) processedEvents() uint64 {
 	var total uint64
-	for _, c := range s.cells {
-		total += c.eng.ProcessedEvents()
+	for _, p := range s.groups {
+		total += p.eng.ProcessedEvents()
 	}
 	return total
 }
 
 func (s *Sharded) poolStats() (hits, misses, free uint64) {
-	for _, c := range s.cells {
-		h, m := c.eng.PoolStats()
+	for _, p := range s.groups {
+		h, m := p.eng.PoolStats()
 		hits += h
 		misses += m
-		free += uint64(c.eng.FreeEvents())
+		free += uint64(p.eng.FreeEvents())
 	}
 	return hits, misses, free
 }
 
-// dispatch implements cellEnv by queueing the handover on the source cell's
-// outbox; the shard engine merges and delivers it at the next window barrier.
+// dispatch implements cellEnv. An intra-group handover is scheduled directly
+// on the shared group calendar, exactly like the serial engine's dispatch; a
+// cross-group handover is queued on the source group's outbox and merged and
+// delivered by the shard engine at the next window barrier. Either way the
+// message fires at src.now() + HandoverLatencySec, so the split is invisible
+// to the model.
 func (s *Sharded) dispatch(src *cell, dst int, m handoverMsg) {
-	p := s.procs[src.id]
-	p.seq++
-	t := p.getTransit()
+	sg := s.groups[s.part.Of(src.id)]
+	t := sg.getTransit()
+	t.cell = s.cells[dst]
 	t.msg = m
-	p.outbox = append(p.outbox, shard.Message{
-		At:      src.now() + s.config.HandoverLatencySec,
-		Src:     src.id,
-		Dst:     dst,
-		Seq:     p.seq,
+	at := src.now() + s.config.HandoverLatencySec
+	dg := s.part.Of(dst)
+	if dg == sg.id {
+		t.grp = sg
+		if _, err := sg.eng.Schedule(at, t.fn); err != nil {
+			// Delays are non-negative and finite by construction; an error
+			// here would be a programming bug, not a model condition.
+			panic(err)
+		}
+		return
+	}
+	sg.seq++
+	sg.outbox = append(sg.outbox, shard.Message{
+		At:      at,
+		Src:     sg.id,
+		Dst:     dg,
+		Seq:     sg.seq,
 		Payload: t,
 	})
 }

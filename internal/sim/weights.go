@@ -1,0 +1,36 @@
+package sim
+
+// weightSteps bounds the change-point walk of cellLoadWeights; profiles with
+// more change points than this are extrapolated from their last observed
+// rates, which only degrades partition quality, never correctness.
+const weightSteps = 4096
+
+// cellLoadWeights integrates every cell's fresh-arrival rate (voice + data
+// sessions) over the whole run horizon [0, WarmupSec + MeasurementSec] by
+// stepping the piecewise-constant rate profile's change points. The result is
+// the expected fresh-arrival count per cell — the load weight the
+// locality-aware partitioner balances groups by and the cut weight it
+// minimises cross-group handover traffic against. cfg must already be
+// defaulted (non-nil Topology and Rates).
+func cellLoadWeights(cfg Config) []float64 {
+	n := cfg.Topology.NumCells()
+	w := make([]float64, n)
+	horizon := cfg.WarmupSec + cfg.MeasurementSec
+	t := 0.0
+	for step := 0; t < horizon; step++ {
+		next := cfg.Rates.NextChange(t)
+		if !(next > t) || step >= weightSteps {
+			next = horizon // defensive: profile stalled or pathological
+		}
+		if next > horizon {
+			next = horizon
+		}
+		dt := next - t
+		for c := 0; c < n; c++ {
+			voice, data := cfg.Rates.Rates(c, t)
+			w[c] += (voice + data) * dt
+		}
+		t = next
+	}
+	return w
+}
