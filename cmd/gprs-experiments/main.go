@@ -16,7 +16,9 @@
 // scenarios such as the highway preset), the first workload the analytical
 // model cannot express. Scenarios with a mobility profile (highway,
 // hotspot-pedestrian) additionally skew the per-cell handover flow, reported
-// by the hsp05 figure.
+// by the hsp05 figure. -trace replays a measured arrival series from a CSV
+// file (header time_sec,{rate_per_s|arrivals}[,payload_bytes]), replacing the
+// temporal profile of whatever scenario is selected.
 //
 // -policy (with -guard/-ho-queue/-ho-deadline) installs a handover admission
 // policy (internal/policy) on every simulator run, overriding any policy the
@@ -91,6 +93,7 @@ func run(args []string) error {
 		partFlg = fs.String("partition", "", "cell→group partitioning of -shards > 1 runs: kind[:groups] with kinds "+strings.Join(partition.Kinds(), ", ")+", or explicit JSON (default: locality); never affects results")
 		scnName = fs.String("scenario", "", "built-in workload scenario for all simulator runs: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
+		trcFile = fs.String("trace", "", "replay a measured arrival trace from this CSV file (header time_sec,{rate_per_s|arrivals}[,payload_bytes]); replaces the scenario's temporal profile")
 		polName = fs.String("policy", "", "handover admission policy for all simulator runs (overrides the scenario's): "+strings.Join(policy.Names(), ", "))
 		guard   = fs.Int("guard", 0, "voice channels reserved for handovers (-policy guard)")
 		hoQueue = fs.Int("ho-queue", 0, "per-cell handover queue capacity (-policy queue)")
@@ -162,6 +165,24 @@ func run(args []string) error {
 	case *scnName != "":
 		spec, err := scenario.Preset(*scnName)
 		if err != nil {
+			return err
+		}
+		opts.Scenario = &spec
+	}
+	if *trcFile != "" {
+		// -trace replaces the temporal profile of whatever scenario the other
+		// flags selected (the uniform baseline when they selected none), so a
+		// measured arrival series can modulate any spatial shape.
+		rows, err := scenario.LoadTraceCSV(*trcFile)
+		if err != nil {
+			return err
+		}
+		spec := scenario.Spec{Name: "trace"}
+		if opts.Scenario != nil {
+			spec = *opts.Scenario
+		}
+		spec.Temporal = scenario.Temporal{Kind: scenario.Trace, Rows: rows}
+		if err := spec.Validate(); err != nil {
 			return err
 		}
 		opts.Scenario = &spec

@@ -23,7 +23,10 @@
 // per-cell report that makes the spatial response visible — including the
 // handover-flow columns (HO in/out/fail), the signature of mobility
 // scenarios — with cross-replication confidence half-widths when more than
-// one replication ran.
+// one replication ran. -trace replays a measured arrival series from a CSV
+// file (header time_sec,{rate_per_s|arrivals}[,payload_bytes]): the series is
+// normalized to mean rate 1 and replaces the temporal profile of whatever
+// scenario is selected, so empirical traffic can modulate any spatial shape.
 //
 // -policy selects the handover admission policy (internal/policy): "guard"
 // reserves -guard voice channels for handovers, "queue" parks blocked voice
@@ -65,6 +68,7 @@
 //	gprs-sim -rate 0.5 -cells 19 -scenario hotspot -percell
 //	gprs-sim -rate 0.5 -cells 19 -scenario highway -percell
 //	gprs-sim -rate 0.5 -scenario-file rush.json
+//	gprs-sim -rate 0.5 -trace measured.csv -percell
 //	gprs-sim -rate 0.5 -series out.csv -series-dt 10
 //	gprs-sim -rate 0.5 -replications 8 -series merged.jsonl
 //	gprs-sim -rate 0.5 -measure 100000 -telemetry :6060
@@ -114,6 +118,7 @@ func run(args []string) error {
 		partFlg = fs.String("partition", "", "cell→group partitioning of -shards > 1 runs: kind[:groups] with kinds "+strings.Join(partition.Kinds(), ", ")+", or explicit JSON (default: locality, one group per shard); never affects results")
 		scnName = fs.String("scenario", "", "built-in workload scenario: "+strings.Join(scenario.Names(), ", "))
 		scnFile = fs.String("scenario-file", "", "JSON workload-scenario file (overrides -scenario)")
+		trcFile = fs.String("trace", "", "replay a measured arrival trace from this CSV file (header time_sec,{rate_per_s|arrivals}[,payload_bytes]); replaces the scenario's temporal profile")
 		polName = fs.String("policy", "", "handover admission policy (overrides the scenario's): "+strings.Join(policy.Names(), ", "))
 		guard   = fs.Int("guard", 0, "voice channels reserved for handovers (-policy guard)")
 		hoQueue = fs.Int("ho-queue", 0, "per-cell handover queue capacity (-policy queue)")
@@ -172,7 +177,7 @@ func run(args []string) error {
 	}
 
 	scenarioLabel := "uniform (paper baseline)"
-	if spec, ok, err := resolveScenario(*scnName, *scnFile); err != nil {
+	if spec, ok, err := resolveScenario(*scnName, *scnFile, *trcFile); err != nil {
 		return err
 	} else if ok {
 		prof, err := scenario.Apply(&cfg, spec)
@@ -341,18 +346,37 @@ func describePolicy(p *policy.Config) string {
 	}
 }
 
-// resolveScenario turns the -scenario/-scenario-file flags into a scenario
-// spec; ok is false when neither flag is set.
-func resolveScenario(name, file string) (spec scenario.Spec, ok bool, err error) {
+// resolveScenario turns the -scenario/-scenario-file/-trace flags into a
+// scenario spec; ok is false when none is set. A -trace CSV replaces the
+// temporal profile of whatever scenario the other flags selected (or rides on
+// the uniform spatial baseline when it is the only flag), so a measured
+// arrival series can modulate any spatial shape.
+func resolveScenario(name, file, trace string) (spec scenario.Spec, ok bool, err error) {
 	switch {
 	case file != "":
 		spec, err = scenario.Load(file)
 	case name != "":
 		spec, err = scenario.Preset(name)
-	default:
+	case trace == "":
 		return scenario.Spec{}, false, nil
 	}
-	return spec, err == nil, err
+	if err != nil {
+		return spec, false, err
+	}
+	if trace != "" {
+		rows, err := scenario.LoadTraceCSV(trace)
+		if err != nil {
+			return spec, false, err
+		}
+		if spec.Name == "" {
+			spec.Name = "trace"
+		}
+		spec.Temporal = scenario.Temporal{Kind: scenario.Trace, Rows: rows}
+		if err := spec.Validate(); err != nil {
+			return spec, false, err
+		}
+	}
+	return spec, true, nil
 }
 
 // describeProfile labels a compiled scenario for the run header, including

@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
+	"math"
+	"os"
 	"testing"
 
 	"repro/internal/cluster"
@@ -77,6 +80,79 @@ func FuzzScenarioParse(f *testing.F) {
 			if v < 0 || d < 0 || v != v || d != d {
 				t.Fatalf("Parse(%q): compiled profile yields bad rates (%v, %v) in cell %d", data, v, d, c)
 			}
+		}
+	})
+}
+
+// FuzzTraceParse checks the trace-CSV parser never panics and that every
+// series it accepts re-validates and compiles into a profile with finite,
+// non-negative, piecewise-constant rates. The corpus is seeded from the
+// committed sample trace plus adversarial shapes: non-monotone and negative
+// timestamps, NaN/Inf fields, truncated records, wrong headers, ragged rows.
+// Run continuously with:
+//
+//	go test -run '^$' -fuzz FuzzTraceParse ./internal/scenario -fuzztime 30s
+func FuzzTraceParse(f *testing.F) {
+	sample, err := os.ReadFile("testdata/trace.csv")
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		sample,
+		[]byte("time_sec,rate_per_s\n0,1.5\n60,3.0\n120,0.5\n"),
+		[]byte("time_sec,rate_per_s,payload_bytes\n0,1,480\n300,2,512\n"),
+		[]byte("time_sec,arrivals\n0,10\n60,20\n120,0\n"),
+		[]byte("time_sec,arrivals\n0,10\n60,5\n"),                    // nonzero horizon count
+		[]byte("time_sec,rate_per_s\n0,1\n60,2\n30,3"),               // out of order
+		[]byte("time_sec,rate_per_s\n-5,1\n60,2\n"),                  // negative timestamp
+		[]byte("time_sec,rate_per_s\n0,NaN\n60,1\n"),                 // NaN rate
+		[]byte("time_sec,rate_per_s\n0,+Inf\n60,1\n"),                // infinite rate
+		[]byte("time_sec,rate_per_s\n0,1"),                           // truncated final line
+		[]byte("time_sec,rate_per_s,payload_bytes\n0,1\n60,2,480\n"), // ragged
+		[]byte("seconds,rate\n0,1\n"),                                // wrong header
+		[]byte("time_sec,rate_per_s\n"),                              // header only
+		[]byte(""),
+		[]byte("\xff\xfe"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	topo := cluster.NewHexCluster()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := ParseTraceCSV(data)
+		if err != nil {
+			return
+		}
+		if err := validateTraceRows(rows); err != nil {
+			t.Fatalf("ParseTraceCSV accepted rows failing validation: %v", err)
+		}
+		prof, err := Spec{Temporal: Temporal{Kind: Trace, Rows: rows}}.Compile(topo, 0.475, 0.025)
+		if err != nil {
+			// Compilation may still reject a parseable series — e.g. one whose
+			// only positive rate sits on the zero-duration horizon row, so the
+			// measured span cannot be normalized — but only with the typed
+			// scenario error, never a panic or an untyped failure.
+			if !errors.Is(err, ErrInvalidScenario) {
+				t.Fatalf("trace compile failed with an untyped error: %v", err)
+			}
+			return
+		}
+		// Sweep the compiled schedule across its change points: rates must
+		// stay finite and non-negative, and change points must advance.
+		at := 0.0
+		for i := 0; i < len(rows)+2; i++ {
+			v, d := prof.Rates(0, at)
+			if v < 0 || d < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bad compiled rates (%v, %v) at %v", v, d, at)
+			}
+			next := prof.NextChange(at)
+			if next <= at {
+				t.Fatalf("NextChange(%v) = %v does not advance", at, next)
+			}
+			if math.IsInf(next, 1) {
+				break
+			}
+			at = next
 		}
 	})
 }

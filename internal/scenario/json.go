@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // Parse decodes and validates a scenario from its JSON form. Unknown fields
@@ -31,6 +32,9 @@ func Parse(data []byte) (Spec, error) {
 }
 
 // Load reads and parses a scenario file written in the JSON format of Parse.
+// A trace temporal block referencing a CSV file ("csv") is resolved relative
+// to the scenario file's directory and loaded into Spec.Temporal.Rows, so the
+// returned spec is self-contained and ready to Compile.
 func Load(path string) (Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -39,6 +43,21 @@ func Load(path string) (Spec, error) {
 	s, err := Parse(data)
 	if err != nil {
 		return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	if s.Temporal.Kind == Trace && s.Temporal.CSV != "" {
+		csvPath := s.Temporal.CSV
+		if !filepath.IsAbs(csvPath) {
+			csvPath = filepath.Join(filepath.Dir(path), csvPath)
+		}
+		rows, err := LoadTraceCSV(csvPath)
+		if err != nil {
+			return Spec{}, fmt.Errorf("%w (referenced by %s)", err, path)
+		}
+		s.Temporal.Rows = rows
+		s.Temporal.CSV = ""
+		if err := s.Validate(); err != nil {
+			return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+		}
 	}
 	return s, nil
 }

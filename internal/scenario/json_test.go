@@ -74,6 +74,39 @@ func TestParseErrorPaths(t *testing.T) {
 		{"retry policy with queue parameters",
 			`{"policy": {"kind": "retry", "queue_capacity": 4}}`,
 			`queue capacity 4 set for policy "retry"`},
+		{"trace without data", `{"temporal": {"kind": "trace"}}`,
+			"without csv or rows"},
+		{"trace with both csv and rows",
+			`{"temporal": {"kind": "trace", "csv": "t.csv", "rows": [{"at_sec": 0, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}]}}`,
+			"both csv and inline rows"},
+		{"trace rows not at zero",
+			`{"temporal": {"kind": "trace", "rows": [{"at_sec": 5, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}]}}`,
+			"first trace row must start at 0"},
+		{"trace rows not monotone",
+			`{"temporal": {"kind": "trace", "rows": [{"at_sec": 0, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}, {"at_sec": 10, "rate_per_s": 3}]}}`,
+			"strictly increasing"},
+		{"trace row beyond period",
+			`{"temporal": {"kind": "trace", "period_sec": 8, "rows": [{"at_sec": 0, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}]}}`,
+			"beyond the period"},
+		{"trace data on a steps profile",
+			`{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}], "csv": "t.csv"}}`,
+			"steps temporal profile with trace data"},
+		{"steps on a constant profile",
+			`{"temporal": {"steps": [{"at_sec": 0, "scale": 1}]}}`,
+			"constant temporal profile with steps"},
+		{"mmpp without sources", `{"temporal": {"kind": "mmpp", "mean_on_sec": 10, "mean_off_sec": 20, "horizon_sec": 100}}`,
+			"at least 1 source"},
+		{"mmpp without horizon", `{"temporal": {"kind": "mmpp", "sources": 4, "mean_on_sec": 10, "mean_off_sec": 20}}`,
+			"horizon 0"},
+		{"mmpp trajectory too long",
+			`{"temporal": {"kind": "mmpp", "sources": 1000, "mean_on_sec": 0.001, "mean_off_sec": 0.001, "horizon_sec": 1e6}}`,
+			"too long"},
+		{"onoff alpha outside the self-similar regime",
+			`{"temporal": {"kind": "onoff", "mean_on_sec": 10, "mean_off_sec": 20, "pareto_alpha": 2.5, "horizon_sec": 100}}`,
+			"outside (1, 2)"},
+		{"mobility trace profile",
+			`{"mobility": {"spatial": {"kind": "uniform"}, "temporal": {"kind": "trace", "rows": [{"at_sec": 0, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}]}}}`,
+			"must be constant or steps"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +121,54 @@ func TestParseErrorPaths(t *testing.T) {
 				t.Errorf("error %q does not name the defect (want substring %q)", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestScheduleErrorsAreTyped pins the shared timeline sentinel: every
+// schedule-shape defect — in synthetic step schedules and in trace
+// timestamps alike — wraps ErrInvalidSchedule on top of ErrInvalidScenario,
+// so tooling can distinguish "your timeline is broken" from every other
+// scenario mistake. Value errors (a negative scale, a bad policy) stay
+// outside the sentinel.
+func TestScheduleErrorsAreTyped(t *testing.T) {
+	scheduleErrs := []struct {
+		name string
+		in   string
+	}{
+		{"steps with a gap before zero", `{"temporal": {"kind": "steps", "steps": [{"at_sec": 5, "scale": 1}]}}`},
+		{"steps not monotone", `{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}, {"at_sec": 10, "scale": 2}, {"at_sec": 7, "scale": 3}]}}`},
+		{"steps beyond period", `{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}, {"at_sec": 50, "scale": 2}], "period_sec": 40}}`},
+		{"steps with negative period", `{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": 1}], "period_sec": -5}}`},
+		{"trace rows not at zero", `{"temporal": {"kind": "trace", "rows": [{"at_sec": 5, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}]}}`},
+		{"trace rows not monotone", `{"temporal": {"kind": "trace", "rows": [{"at_sec": 0, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}, {"at_sec": 4, "rate_per_s": 3}]}}`},
+		{"trace row beyond period", `{"temporal": {"kind": "trace", "period_sec": 8, "rows": [{"at_sec": 0, "rate_per_s": 1}, {"at_sec": 10, "rate_per_s": 2}]}}`},
+	}
+	for _, tc := range scheduleErrs {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.in)
+			}
+			if !errors.Is(err, ErrInvalidSchedule) {
+				t.Errorf("schedule defect should wrap ErrInvalidSchedule: %v", err)
+			}
+			if !errors.Is(err, ErrInvalidScenario) {
+				t.Errorf("schedule defect should still wrap ErrInvalidScenario: %v", err)
+			}
+		})
+	}
+	valueErrs := []string{
+		`{"temporal": {"kind": "steps", "steps": [{"at_sec": 0, "scale": -2}]}}`,
+		`{"temporal": {"kind": "trace", "rows": [{"at_sec": 0, "rate_per_s": -1}, {"at_sec": 10, "rate_per_s": 2}]}}`,
+	}
+	for _, in := range valueErrs {
+		_, err := Parse([]byte(in))
+		if err == nil {
+			t.Fatalf("Parse accepted %q", in)
+		}
+		if errors.Is(err, ErrInvalidSchedule) {
+			t.Errorf("value defect should not claim the schedule sentinel: %v", err)
+		}
 	}
 }
 

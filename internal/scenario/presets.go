@@ -73,6 +73,27 @@ func presets() map[string]Spec {
 			Mobility: &Mobility{
 				Spatial: Spatial{Kind: Corridor, Center: cluster.MidCell, Peak: 0.25, Decay: 1}},
 			Policy: &PolicySpec{Kind: "retry"}},
+		// A measured-style diurnal trace replayed periodically: half-hour
+		// cycles through a morning ramp, a peak, and a quiet tail, normalized
+		// to the same aggregate load as the uniform scenario. The inline rows
+		// stand in for a CSV export (see ParseTraceCSV); the fine 300 s
+		// granularity makes even short runs cross several rate changes.
+		Trace: {Name: Trace, Temporal: Temporal{Kind: Trace, PeriodSec: 1800,
+			Rows: []TraceRow{
+				{AtSec: 0, RatePerSec: 1.0},
+				{AtSec: 300, RatePerSec: 1.8},
+				{AtSec: 600, RatePerSec: 2.4},
+				{AtSec: 900, RatePerSec: 1.6},
+				{AtSec: 1200, RatePerSec: 0.8},
+				{AtSec: 1500, RatePerSec: 0.5},
+			}}},
+		// Eight exponential on/off sources superposed into an MMPP: the
+		// aggregate load bursts between silence (all sources off) and three
+		// times the baseline, with stationary mean exactly the baseline. The
+		// trajectory is pre-sampled from the spec seed, so every engine
+		// layout replays the identical burst pattern.
+		"mmpp-bursty": {Name: "mmpp-bursty", Temporal: Temporal{Kind: MMPP,
+			Sources: 8, MeanOnSec: 120, MeanOffSec: 240, HorizonSec: 30000, Seed: 17}},
 	}
 }
 

@@ -99,6 +99,17 @@ const (
 	Constant = "constant"
 	// Steps follows a piecewise-constant step schedule, optionally periodic.
 	Steps = "steps"
+	// Trace replays a measured arrival series (CSV file or inline rows),
+	// normalized to time-weighted mean scale 1 — the empirical counterpart of
+	// the synthetic Steps schedules. See trace.go.
+	Trace = "trace"
+	// MMPP modulates the rates by a Markov-modulated Poisson process: the
+	// superposition of Sources independent exponential on/off sources,
+	// pre-sampled into a deterministic step schedule at compile time.
+	MMPP = "mmpp"
+	// OnOff modulates the rates by a single on/off source with heavy-tailed
+	// Pareto sojourns — the classic self-similar traffic construction.
+	OnOff = "onoff"
 )
 
 // Spec declares one workload scenario: a spatial load shape crossed with a
@@ -213,15 +224,40 @@ type Step struct {
 // multiplies every cell's rates, so spatial shape and temporal profile
 // compose.
 type Temporal struct {
-	// Kind is Constant or Steps. Empty means Constant.
+	// Kind is Constant, Steps, Trace, MMPP, or OnOff. Empty means Constant.
 	Kind string `json:"kind,omitempty"`
 	// Steps is the schedule of a Steps profile: strictly increasing AtSec
 	// starting at 0, each holding Scale until the next step.
 	Steps []Step `json:"steps,omitempty"`
 	// PeriodSec, when > 0, repeats the schedule with this period (all AtSec
 	// must lie inside [0, PeriodSec)). Zero means the last step's scale holds
-	// forever.
+	// forever. Steps and Trace profiles only.
 	PeriodSec float64 `json:"period_sec,omitempty"`
+
+	// CSV names the trace file of a Trace profile (see ParseTraceCSV for the
+	// format). Load resolves the path relative to the scenario file and fills
+	// Rows; Compile refuses a spec whose CSV was never loaded.
+	CSV string `json:"csv,omitempty"`
+	// Rows is the measured series of a Trace profile in rate form: strictly
+	// increasing AtSec starting at 0, each row's rate holding until the next.
+	Rows []TraceRow `json:"rows,omitempty"`
+
+	// Sources is the number of on/off sources superposed by an MMPP profile.
+	Sources int `json:"sources,omitempty"`
+	// MeanOnSec and MeanOffSec are the mean sojourn times of the MMPP and
+	// OnOff modulators' on and off phases.
+	MeanOnSec  float64 `json:"mean_on_sec,omitempty"`
+	MeanOffSec float64 `json:"mean_off_sec,omitempty"`
+	// ParetoAlpha is the tail index of the OnOff sojourn distribution, in
+	// (1, 2): finite mean, infinite variance — the self-similar regime.
+	ParetoAlpha float64 `json:"pareto_alpha,omitempty"`
+	// HorizonSec bounds the pre-sampled MMPP/OnOff trajectory; the last
+	// state's scale holds beyond it, so it should cover warm-up plus
+	// measurement.
+	HorizonSec float64 `json:"horizon_sec,omitempty"`
+	// Seed selects the deterministic substream the MMPP/OnOff trajectory is
+	// sampled from, independently of the simulator's seed.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Validate reports whether the scenario specification is well formed.
@@ -254,6 +290,15 @@ func (s Spec) Validate() error {
 func (m Mobility) validate() error {
 	if err := m.Spatial.validate(); err != nil {
 		return err
+	}
+	switch m.Temporal.Kind {
+	case "", Constant, Steps:
+	default:
+		// Dwell multipliers must be strictly positive and hand-auditable; the
+		// empirical/stochastic profiles (trace, mmpp, onoff) can reach scale 0
+		// and are defined for arrival rates only.
+		return fmt.Errorf("%w: mobility temporal profile must be constant or steps, got %q",
+			ErrInvalidScenario, m.Temporal.Kind)
 	}
 	if err := m.Temporal.validate(); err != nil {
 		return err
@@ -304,42 +349,53 @@ func (sp Spatial) validate() error {
 }
 
 func (tp Temporal) validate() error {
+	if len(tp.Steps) > 0 && tp.Kind != Steps {
+		return fmt.Errorf("%w: %s temporal profile with steps", ErrInvalidScenario, tp.kindName())
+	}
+	if (tp.CSV != "" || len(tp.Rows) > 0) && tp.Kind != Trace {
+		return fmt.Errorf("%w: %s temporal profile with trace data", ErrInvalidScenario, tp.kindName())
+	}
 	switch tp.Kind {
 	case "", Constant:
-		if len(tp.Steps) > 0 {
-			return fmt.Errorf("%w: constant temporal profile with steps", ErrInvalidScenario)
-		}
 		return nil
 	case Steps:
+		return tp.validateSteps()
+	case Trace:
+		return tp.validateTrace()
+	case MMPP:
+		return tp.validateMMPP()
+	case OnOff:
+		return tp.validateOnOff()
 	default:
 		return fmt.Errorf("%w: unknown temporal kind %q", ErrInvalidScenario, tp.Kind)
 	}
+}
+
+// kindName renders the kind for error messages, naming the implicit default.
+func (tp Temporal) kindName() string {
+	if tp.Kind == "" {
+		return Constant
+	}
+	return tp.Kind
+}
+
+func (tp Temporal) validateSteps() error {
 	if len(tp.Steps) == 0 {
 		return fmt.Errorf("%w: steps temporal profile without steps", ErrInvalidScenario)
 	}
-	if tp.Steps[0].AtSec != 0 {
-		return fmt.Errorf("%w: first step must start at 0, got %v", ErrInvalidScenario, tp.Steps[0].AtSec)
+	times := make([]float64, len(tp.Steps))
+	for i, st := range tp.Steps {
+		times[i] = st.AtSec
 	}
-	prev := math.Inf(-1)
+	if err := validateTimeline("step", times); err != nil {
+		return err
+	}
 	for _, st := range tp.Steps {
-		if !finiteNonNeg(st.AtSec) || st.AtSec <= prev {
-			return fmt.Errorf("%w: step times must be finite and strictly increasing, got %v after %v",
-				ErrInvalidScenario, st.AtSec, prev)
-		}
 		if !finiteNonNeg(st.Scale) {
 			return fmt.Errorf("%w: step scale %v at %v s", ErrInvalidScenario, st.Scale, st.AtSec)
 		}
-		prev = st.AtSec
 	}
-	if tp.PeriodSec != 0 {
-		if !finitePos(tp.PeriodSec) {
-			return fmt.Errorf("%w: period %v", ErrInvalidScenario, tp.PeriodSec)
-		}
-		if last := tp.Steps[len(tp.Steps)-1].AtSec; last >= tp.PeriodSec {
-			return fmt.Errorf("%w: step at %v s lies beyond the period %v s", ErrInvalidScenario, last, tp.PeriodSec)
-		}
-	}
-	return nil
+	return validatePeriod("step", tp.PeriodSec, tp.Steps[len(tp.Steps)-1].AtSec)
 }
 
 // Profile is a compiled scenario: per-cell weights, a step schedule, and the
@@ -352,6 +408,10 @@ type Profile struct {
 	voice   float64
 	data    float64
 	sched   schedule
+	// payload is the arrival-weighted mean payload size of a trace profile
+	// with payload annotations, in bytes (0 otherwise). Reporting only: the
+	// simulator's packet model stays at the paper's fixed 480-byte packets.
+	payload float64
 }
 
 // Compile resolves the scenario against a cluster topology and the baseline
@@ -373,8 +433,12 @@ func (s Spec) Compile(topo *cluster.Topology, voiceRate, dataRate float64) (*Pro
 	if err != nil {
 		return nil, err
 	}
+	sched, payload, err := s.Temporal.compile()
+	if err != nil {
+		return nil, err
+	}
 	return &Profile{name: s.Name, weights: weights, voice: voiceRate, data: dataRate,
-		sched: newSchedule(s.Temporal)}, nil
+		sched: sched, payload: payload}, nil
 }
 
 // Apply compiles the scenario against the simulator configuration — its
@@ -489,6 +553,12 @@ func (p *Profile) NumCells() int { return len(p.weights) }
 // Weights returns a copy of the per-cell weight vector.
 func (p *Profile) Weights() []float64 { return append([]float64(nil), p.weights...) }
 
+// MeanPayloadBytes returns the arrival-weighted mean payload size of a trace
+// profile carrying payload annotations, or 0 when the profile has none. It is
+// reporting metadata: the simulator's packet model keeps the paper's fixed
+// 480-byte packets regardless.
+func (p *Profile) MeanPayloadBytes() float64 { return p.payload }
+
 // Rates returns the cell's voice and data arrival rates at time t:
 // baseline * weight(cell) * scale(t). Out-of-range cells see rate 0.
 func (p *Profile) Rates(cell int, t float64) (float64, float64) {
@@ -514,35 +584,48 @@ type schedule struct {
 	period float64
 }
 
-// newSchedule compiles a validated temporal declaration.
-func newSchedule(tp Temporal) schedule {
-	if tp.Kind != Steps {
-		return schedule{}
+// compile resolves a validated temporal declaration into its piecewise-
+// constant schedule. The second return value is the arrival-weighted mean
+// payload of a trace profile with payload annotations (0 otherwise). It can
+// fail only for the generated kinds: a trace whose CSV was never loaded or
+// whose rows cannot be normalized.
+func (tp Temporal) compile() (schedule, float64, error) {
+	switch tp.Kind {
+	case Steps:
+		return schedule{steps: append([]Step(nil), tp.Steps...), period: tp.PeriodSec}, 0, nil
+	case Trace:
+		return tp.compileTrace()
+	case MMPP:
+		return tp.compileMMPP(), 0, nil
+	case OnOff:
+		return tp.compileOnOff(), 0, nil
+	default:
+		return schedule{}, 0, nil
 	}
-	return schedule{steps: append([]Step(nil), tp.Steps...), period: tp.PeriodSec}
 }
 
 // next returns the earliest time strictly after t at which the scale changes,
-// or +Inf for constant schedules.
+// or +Inf for constant schedules. Like scale it binary-searches the step
+// boundaries: generated schedules (trace replays, MMPP trajectories) carry
+// thousands of steps, far too many for the linear scan the hand-written ramps
+// got away with.
 func (s schedule) next(t float64) float64 {
 	if len(s.steps) == 0 {
 		return math.Inf(1)
 	}
 	if s.period > 0 {
-		k := math.Floor(t / s.period)
-		for {
-			for _, st := range s.steps {
-				if b := k*s.period + st.AtSec; b > t {
-					return b
-				}
-			}
-			k++
+		base := math.Floor(t/s.period) * s.period
+		i := sort.Search(len(s.steps), func(i int) bool { return base+s.steps[i].AtSec > t })
+		if i < len(s.steps) {
+			return base + s.steps[i].AtSec
 		}
+		// Wrap: the next boundary is the first step of the following period
+		// (step times start at 0, so it is the period boundary itself).
+		return base + s.period + s.steps[0].AtSec
 	}
-	for _, st := range s.steps {
-		if st.AtSec > t {
-			return st.AtSec
-		}
+	i := sort.Search(len(s.steps), func(i int) bool { return s.steps[i].AtSec > t })
+	if i < len(s.steps) {
+		return s.steps[i].AtSec
 	}
 	return math.Inf(1)
 }
@@ -594,7 +677,11 @@ func (m Mobility) Compile(topo *cluster.Topology) (*DwellProfile, error) {
 			return nil, fmt.Errorf("%w: dwell weight %v in cell %d must be positive", ErrInvalidScenario, w, i)
 		}
 	}
-	return &DwellProfile{weights: weights, sched: newSchedule(m.Temporal)}, nil
+	sched, _, err := m.Temporal.compile()
+	if err != nil {
+		return nil, err
+	}
+	return &DwellProfile{weights: weights, sched: sched}, nil
 }
 
 // NumCells returns the number of cells the profile was compiled for.

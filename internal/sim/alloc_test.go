@@ -15,11 +15,13 @@ import (
 	"repro/internal/traffic"
 )
 
-// allocPinConfig is the steady-state workload of the allocation pins: the
-// open-loop traffic model (EnableTCP=false — the TCP path is deliberately
-// exempt from the allocation-free contract, see connection), uniform constant
-// load, no time-varying profiles.
-func allocPinConfig(cells int) Config {
+// allocPinConfig is the steady-state workload of the allocation pins:
+// uniform constant load, no time-varying profiles. tcpPath selects between
+// the open-loop traffic model and the closed-loop TCP transfers — both are
+// under the allocation-free contract: connection records, their per-segment
+// bookkeeping slices, and the segment/ACK transit hops are pooled per cell
+// like every other model record.
+func allocPinConfig(cells int, tcpPath bool) Config {
 	topo, err := cluster.Preset(cells)
 	if err != nil {
 		panic(err)
@@ -29,7 +31,7 @@ func allocPinConfig(cells int) Config {
 	cfg.Channels.TotalChannels = 10
 	cfg.BufferSize = 30
 	cfg.MaxSessions = 10
-	cfg.EnableTCP = false
+	cfg.EnableTCP = tcpPath
 	cfg.Seed = 7
 	return cfg
 }
@@ -58,26 +60,36 @@ func measureAllocsPerEvent(t *testing.T, advance func(to float64), processed fun
 
 // TestSerialSteadyStateAllocs pins the tentpole contract on the serial
 // engine: after warm-up, the event hot path performs (essentially) zero
-// allocations per event. The epsilon tolerates freelist growth at new
-// concurrent-population peaks — O(peak), not O(events).
+// allocations per event — on the open-loop path and on the TCP path, which
+// pools connection and transit records per cell. The epsilon tolerates
+// freelist growth at new concurrent-population peaks (including a connection
+// record's per-segment slices growing to a new largest transfer) — O(peak),
+// not O(events).
 func TestSerialSteadyStateAllocs(t *testing.T) {
-	s, err := New(allocPinConfig(7))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, c := range s.cells {
-		c.start()
-	}
-	s.eng.RunUntil(2000) // reach steady state, grow every pool to its peak
-	perEvent, eventsPerRun := measureAllocsPerEvent(t,
-		func(to float64) { s.eng.RunUntil(to) },
-		s.eng.ProcessedEvents, 2000, 500)
-	if eventsPerRun < 1000 {
-		t.Fatalf("only %.0f events per window; the pin would be vacuous", eventsPerRun)
-	}
-	if perEvent > 0.001 {
-		t.Errorf("serial hot path allocates %.5f allocs/event (%.0f events/window), want 0",
-			perEvent, eventsPerRun)
+	for _, tc := range []struct {
+		name    string
+		tcpPath bool
+	}{{"openloop", false}, {"tcp", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(allocPinConfig(7, tc.tcpPath))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range s.cells {
+				c.start()
+			}
+			s.eng.RunUntil(2000) // reach steady state, grow every pool to its peak
+			perEvent, eventsPerRun := measureAllocsPerEvent(t,
+				func(to float64) { s.eng.RunUntil(to) },
+				s.eng.ProcessedEvents, 2000, 500)
+			if eventsPerRun < 1000 {
+				t.Fatalf("only %.0f events per window; the pin would be vacuous", eventsPerRun)
+			}
+			if perEvent > 0.001 {
+				t.Errorf("serial hot path allocates %.5f allocs/event (%.0f events/window), want 0",
+					perEvent, eventsPerRun)
+			}
+		})
 	}
 }
 
@@ -101,7 +113,7 @@ func TestProbeArmedSteadyStateAllocs(t *testing.T) {
 		perCells func() []*cell
 	}
 	build := func(name string, shards int) engine {
-		cfg := allocPinConfig(7)
+		cfg := allocPinConfig(7, false)
 		cfg.Probe = &probe.Spec{IntervalSec: 25}
 		if shards == 0 {
 			s, err := New(cfg)
@@ -166,7 +178,7 @@ func TestQueuedHandoverSteadyStateAllocs(t *testing.T) {
 		perCells func() []*cell
 	}
 	build := func(name string, shards int) engine {
-		cfg := allocPinConfig(7)
+		cfg := allocPinConfig(7, false)
 		cfg.Policy = queuePolicy
 		if shards == 0 {
 			s, err := New(cfg)
@@ -224,30 +236,37 @@ func TestQueuedHandoverSteadyStateAllocs(t *testing.T) {
 // fan-out, whose per-AdvanceTo setup (channels, goroutines) is amortized over
 // the thousands of events each advance processes.
 func TestShardedSteadyStateAllocs(t *testing.T) {
-	for _, shards := range []int{1, 4} {
-		s, err := NewSharded(allocPinConfig(7), ShardedOptions{Shards: shards})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, c := range s.cells {
-			c.start()
-		}
-		if err := s.engine.AdvanceTo(2000); err != nil {
-			t.Fatal(err)
-		}
-		perEvent, eventsPerRun := measureAllocsPerEvent(t,
-			func(to float64) {
-				if err := s.engine.AdvanceTo(to); err != nil {
+	for _, tc := range []struct {
+		name    string
+		tcpPath bool
+	}{{"openloop", false}, {"tcp", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shards := range []int{1, 4} {
+				s, err := NewSharded(allocPinConfig(7, tc.tcpPath), ShardedOptions{Shards: shards})
+				if err != nil {
 					t.Fatal(err)
 				}
-			},
-			s.processedEvents, 2000, 500)
-		if eventsPerRun < 1000 {
-			t.Fatalf("%d shards: only %.0f events per window; the pin would be vacuous", shards, eventsPerRun)
-		}
-		if perEvent > 0.001 {
-			t.Errorf("%d shards: sharded hot path allocates %.5f allocs/event (%.0f events/window), want 0",
-				shards, perEvent, eventsPerRun)
-		}
+				for _, c := range s.cells {
+					c.start()
+				}
+				if err := s.engine.AdvanceTo(2000); err != nil {
+					t.Fatal(err)
+				}
+				perEvent, eventsPerRun := measureAllocsPerEvent(t,
+					func(to float64) {
+						if err := s.engine.AdvanceTo(to); err != nil {
+							t.Fatal(err)
+						}
+					},
+					s.processedEvents, 2000, 500)
+				if eventsPerRun < 1000 {
+					t.Fatalf("%d shards: only %.0f events per window; the pin would be vacuous", shards, eventsPerRun)
+				}
+				if perEvent > 0.001 {
+					t.Errorf("%d shards: sharded hot path allocates %.5f allocs/event (%.0f events/window), want 0",
+						shards, perEvent, eventsPerRun)
+				}
+			}
+		})
 	}
 }

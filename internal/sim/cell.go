@@ -147,6 +147,13 @@ type cell struct {
 	sessions   int
 	buffer     []*packet
 
+	// deliverPending is the number of leading buffer packets whose last radio
+	// block was allocated by the previous tick: their transmission completes —
+	// and they are delivered — at the next tick, one block period later. Until
+	// then they still occupy the buffer (the gauge counts them), but they no
+	// longer count against the BSC admission limit (queuedPackets).
+	deliverPending int
+
 	tickScheduled bool
 
 	// Prebound hot-path closures (one allocation each, at construction).
@@ -162,6 +169,8 @@ type cell struct {
 	freeVoice []*voiceCall
 	freeSess  []*session
 	freePkt   []*packet
+	freeConn  []*connection
+	freeCT    []*connTransit
 
 	// hoQueue is the bounded FIFO of voice handovers parked by the
 	// queued-handovers policy (head at index 0), allocated lazily on the
@@ -342,10 +351,88 @@ func (c *cell) getPacket() *packet {
 // putPacket resets a delivered or dropped packet record and recycles it.
 func (c *cell) putPacket(p *packet) {
 	p.conn = nil
+	p.connGen = 0
 	p.seq = 0
 	p.enqueuedAt = 0
 	p.blocksLeft = 0
 	c.freePkt = append(c.freePkt, p)
+}
+
+// getConn takes a connection record off the cell's freelist, or allocates a
+// bare one (newConnection binds the sender and the timeout closure and resets
+// the transfer state). The record's generation counter survives recycling —
+// it is the pool's ABA guard, advanced at every acquisition.
+func (c *cell) getConn() *connection {
+	if n := len(c.freeConn); n > 0 {
+		cc := c.freeConn[n-1]
+		c.freeConn[n-1] = nil
+		c.freeConn = c.freeConn[:n-1]
+		return cc
+	}
+	cc := &connection{cell: c}
+	cc.onTimeoutFn = cc.onTimeout
+	return cc
+}
+
+// putConn recycles a completed or aborted connection record. The RTO timer
+// must already be cancelled; gen is deliberately left alone (see getConn).
+func (c *cell) putConn(cc *connection) {
+	cc.sess = nil
+	cc.rtoEv = des.Handle{}
+	c.freeConn = append(c.freeConn, cc)
+}
+
+// connTransit kind discriminators: a data segment crossing the core network
+// towards the BSC, or a cumulative acknowledgement returning to the sender.
+const (
+	ctSegment = iota
+	ctAck
+)
+
+// connTransit is one TCP segment or acknowledgement in flight between the
+// fixed-network sender and the cell, pooled so per-segment scheduling stays
+// off the allocator. fn is bound once, at first allocation; it recycles the
+// record before dispatching (the dispatch may itself acquire a transit), and
+// the generation check drops hops whose connection ended — or was recycled
+// into a new transfer — while they travelled.
+type connTransit struct {
+	cell *cell
+	conn *connection
+	gen  uint64
+	kind int
+	seq  int
+	ack  int
+	fn   func()
+}
+
+// getCT takes a transit record off the cell's freelist, or allocates one with
+// its dispatch closure bound.
+func (c *cell) getCT() *connTransit {
+	if n := len(c.freeCT); n > 0 {
+		t := c.freeCT[n-1]
+		c.freeCT[n-1] = nil
+		c.freeCT = c.freeCT[:n-1]
+		return t
+	}
+	t := &connTransit{cell: c}
+	t.fn = func() {
+		conn, gen, kind, seq, ack := t.conn, t.gen, t.kind, t.seq, t.ack
+		t.conn = nil
+		t.cell.freeCT = append(t.cell.freeCT, t)
+		if conn.done || conn.gen != gen {
+			return
+		}
+		if kind == ctSegment {
+			p := conn.cell.getPacket()
+			p.conn = conn
+			p.connGen = gen
+			p.seq = seq
+			conn.cell.enqueue(p)
+			return
+		}
+		conn.onAck(ack, seq)
+	}
+	return t
 }
 
 func (c *cell) now() float64 { return c.eng.Now() }
@@ -722,11 +809,17 @@ func (c *cell) removeSession() {
 	}
 }
 
+// queuedPackets is the number of packets awaiting (or under) transmission:
+// the buffer contents minus the packets already fully transmitted and merely
+// waiting for their delivery tick. Admission and instantaneous queue-length
+// reads use this count, matching the paper's finite BSC buffer.
+func (c *cell) queuedPackets() int { return len(c.buffer) - c.deliverPending }
+
 // enqueue offers a packet to the BSC buffer. It returns false when the buffer
 // is full; the dropped packet is recycled, so callers must not retain it.
 func (c *cell) enqueue(p *packet) bool {
 	c.packetsOffered++
-	if len(c.buffer) >= c.env.conf().BufferSize {
+	if c.queuedPackets() >= c.env.conf().BufferSize {
 		c.packetsLost++
 		c.putPacket(p)
 		return false
@@ -754,13 +847,39 @@ func (c *cell) ensureTick() {
 
 // radioTick transmits one radio-block period worth of data: every available
 // PDCH carries one RLC block, packets are served head-of-line first with at
-// most eight PDCHs per packet (multislot limit).
+// most eight PDCHs per packet (multislot limit). Packets whose last block was
+// allocated by the previous tick complete transmission now, exactly one block
+// period later, so deliveries — and every gauge update they cause — are
+// processed at their true timestamps, in time order. Mid-run observers (the
+// probe samplers) therefore see gauges whose accumulators never run ahead of
+// the engine clock, which is what makes window-boundary sampling exact.
 func (c *cell) radioTick() {
 	c.tickScheduled = false
-	if len(c.buffer) == 0 {
-		c.pdchUsage.Update(c.now(), 0)
+	now := c.now()
+
+	// Deliver the head-of-line packets that finished transmitting during the
+	// block period that just ended.
+	if c.deliverPending > 0 {
+		for _, p := range c.buffer[:c.deliverPending] {
+			c.deliver(p)
+			c.putPacket(p)
+		}
+		n := copy(c.buffer, c.buffer[c.deliverPending:])
+		for i := n; i < len(c.buffer); i++ {
+			c.buffer[i] = nil
+		}
+		c.buffer = c.buffer[:n]
+		c.deliverPending = 0
+		c.queueLen.Update(now, float64(len(c.buffer)))
 		if c.pr != nil {
-			c.pr.pdch.Update(c.now(), 0)
+			c.pr.queue.Update(now, float64(len(c.buffer)))
+		}
+	}
+
+	if len(c.buffer) == 0 {
+		c.pdchUsage.Update(now, 0)
+		if c.pr != nil {
+			c.pr.pdch.Update(now, 0)
 		}
 		return
 	}
@@ -783,56 +902,41 @@ func (c *cell) radioTick() {
 		blocks -= alloc
 		used += alloc
 	}
-	c.pdchUsage.Update(c.now(), float64(used))
+	c.pdchUsage.Update(now, float64(used))
 	if c.pr != nil {
-		c.pr.pdch.Update(c.now(), float64(used))
+		c.pr.pdch.Update(now, float64(used))
 	}
 
-	// Deliver packets whose last block has just been transmitted. Service is
-	// head-of-line first, so finished packets form a prefix of the buffer.
-	now := c.now() + blockPeriodSec
-	remaining := c.buffer[:0]
+	// Packets whose last block was allocated above form a prefix of the
+	// buffer (head-of-line service); they deliver at the next tick.
 	for _, p := range c.buffer {
-		if p.blocksLeft <= 0 {
-			c.deliver(p, now)
-			c.putPacket(p)
-			continue
+		if p.blocksLeft > 0 {
+			break
 		}
-		remaining = append(remaining, p)
-	}
-	// Clear the tail so delivered packets do not linger in the backing array.
-	for i := len(remaining); i < len(c.buffer); i++ {
-		c.buffer[i] = nil
-	}
-	c.buffer = remaining
-	c.queueLen.Update(now, float64(len(c.buffer)))
-	if c.pr != nil {
-		c.pr.queue.Update(now, float64(len(c.buffer)))
+		c.deliverPending++
 	}
 
-	if len(c.buffer) > 0 {
-		c.tickScheduled = true
-		c.schedule(blockPeriodSec, c.radioTickFn)
-	} else {
-		c.pdchUsage.Update(now, 0)
-		if c.pr != nil {
-			c.pr.pdch.Update(now, 0)
-		}
-	}
+	c.tickScheduled = true
+	c.schedule(blockPeriodSec, c.radioTickFn)
 }
 
 // deliver records the delivery of a packet to the mobile station and notifies
-// the owning TCP connection, if any. The caller recycles the packet.
-func (c *cell) deliver(p *packet, at float64) {
+// the owning TCP connection, if any. The caller recycles the packet. The
+// generation check keeps a packet from waking a connection record that was
+// recycled (and re-acquired) while the packet drained through the buffer.
+func (c *cell) deliver(p *packet) {
 	c.packetsDelivered++
-	c.delaySum += at - p.enqueuedAt
-	if p.conn != nil {
-		p.conn.onDelivered(p.seq, at)
+	c.delaySum += c.now() - p.enqueuedAt
+	if p.conn != nil && p.conn.gen == p.connGen {
+		p.conn.onDelivered(p.seq)
 	}
 }
 
 // resetBatchWindow restarts the time-weighted statistics and returns a
-// snapshot of the cumulative counters, used at batch boundaries.
+// snapshot of the cumulative counters. It runs exactly once per cell, at the
+// end of the warm-up: batch boundaries difference the running integrals
+// (finishBatch) instead of restarting the gauges, so every gauge measures the
+// whole window uninterrupted.
 func (c *cell) resetBatchWindow(now float64) cellSnapshot {
 	snap := c.snapshot()
 	c.pdchUsage.Start(now, c.pdchUsage.Current())
@@ -899,16 +1003,39 @@ func (c *cell) snapshot() cellSnapshot {
 	}
 }
 
-// finishBatch computes the per-batch observations between the previous
-// snapshot and now and feeds them into the accumulator.
-func (c *cell) finishBatch(acc *batchAccumulator, prev cellSnapshot, now, batchDur float64) {
-	cur := c.snapshot()
+// gaugeIntegrals is a snapshot of the four time-weighted accumulators'
+// integrals at a batch boundary, read with the non-mutating
+// stats.TimeWeighted.IntegralAt so taking it never perturbs the accumulators.
+type gaugeIntegrals struct {
+	pdch, queue, voice, sess float64
+}
 
-	acc.cdt.AddBatchMean(c.pdchUsage.Mean(now))
-	acc.queueLen.AddBatchMean(c.queueLen.Mean(now))
-	ags := c.sessOcc.Mean(now)
+func (c *cell) gaugeIntegralsAt(t float64) gaugeIntegrals {
+	return gaugeIntegrals{
+		pdch:  c.pdchUsage.IntegralAt(t),
+		queue: c.queueLen.IntegralAt(t),
+		voice: c.voiceOcc.IntegralAt(t),
+		sess:  c.sessOcc.IntegralAt(t),
+	}
+}
+
+// finishBatch computes the per-batch observations between the previous
+// counter snapshot / integral snapshot and now and feeds them into the
+// accumulator, returning the integral snapshot at now for the next batch.
+// Differencing integrals (instead of restarting the gauges every batch)
+// leaves the accumulators untouched across the whole measurement period, so
+// the terminal gauge means — and the armed probe's shadow copies of them —
+// are exact window averages, bit-identical between the per-cell report and
+// the probe series.
+func (c *cell) finishBatch(acc *batchAccumulator, prev cellSnapshot, prevInt gaugeIntegrals, now, batchDur float64) gaugeIntegrals {
+	cur := c.snapshot()
+	curInt := c.gaugeIntegralsAt(now)
+
+	acc.cdt.AddBatchMean((curInt.pdch - prevInt.pdch) / batchDur)
+	acc.queueLen.AddBatchMean((curInt.queue - prevInt.queue) / batchDur)
+	ags := (curInt.sess - prevInt.sess) / batchDur
 	acc.ags.AddBatchMean(ags)
-	acc.cvt.AddBatchMean(c.voiceOcc.Mean(now))
+	acc.cvt.AddBatchMean((curInt.voice - prevInt.voice) / batchDur)
 
 	offered := cur.offered - prev.offered
 	lost := cur.lost - prev.lost
@@ -945,4 +1072,5 @@ func (c *cell) finishBatch(acc *batchAccumulator, prev cellSnapshot, now, batchD
 	} else {
 		acc.gprsBlock.AddBatchMean(0)
 	}
+	return curInt
 }

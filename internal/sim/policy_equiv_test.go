@@ -35,12 +35,12 @@ var policyGoldenDigests = []struct {
 	cells  int
 	want   string
 }{
-	{"guard", 7, "89467bf98454f81e"},
-	{"queue", 7, "8809c694692957ec"},
-	{"retry", 7, "f0a0c62083c2b2fd"},
-	{"guard", 19, "165943b5ef396981"},
-	{"queue", 19, "3109305f6981909d"},
-	{"retry", 19, "a527e529f94e143a"},
+	{"guard", 7, "163ee50a5c7791e5"},
+	{"queue", 7, "9369931eb7c73d14"},
+	{"retry", 7, "74296199c01f2529"},
+	{"guard", 19, "fcf6992d4e32f90a"},
+	{"queue", 19, "ef807bab8649472a"},
+	{"retry", 19, "b4adbd44516f3bdb"},
 }
 
 // TestPolicyGoldenDigests pins every policy's exact sample path bit for bit

@@ -141,6 +141,79 @@ func TestPacketPoolResetOnReuse(t *testing.T) {
 	}
 }
 
+// TestConnectionPoolResetOnReuse proves a recycled connection record starts
+// its next transfer exactly as a fresh one would: the sender back in slow
+// start, the per-segment bookkeeping cleared, the RTO handle zeroed — and the
+// generation advanced, so packets and transit hops stamped with the old
+// generation stand down instead of waking the new occupant.
+func TestConnectionPoolResetOnReuse(t *testing.T) {
+	c := poolTestCell(t)
+	sess := c.getSession()
+	sess.cell = c
+
+	c1, err := newConnection(sess, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1 := c1.gen
+	// Dirty every field a live transfer mutates.
+	c1.sender.OnSend()
+	c1.delivered[2] = true
+	c1.sent[1] = true
+	c1.retrans[1] = true
+	c1.sendTime[1] = 3.5
+	c1.recvNext = 2
+	c1.rtoEv = c.schedule(1, func() {})
+	c1.abort()
+
+	c2, err := newConnection(sess, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("freelist should recycle the same record")
+	}
+	if c2.gen <= gen1 {
+		t.Errorf("generation did not advance on reuse: %d -> %d", gen1, c2.gen)
+	}
+	if c2.done || c2.recvNext != 0 || c2.total != 3 {
+		t.Errorf("recycled connection carries stale transfer state: done=%v recvNext=%d total=%d",
+			c2.done, c2.recvNext, c2.total)
+	}
+	if len(c2.delivered) != 3 || len(c2.sent) != 3 || len(c2.retrans) != 3 || len(c2.sendTime) != 3 {
+		t.Fatalf("per-segment slices not resized: %d/%d/%d/%d",
+			len(c2.delivered), len(c2.sent), len(c2.retrans), len(c2.sendTime))
+	}
+	for i := 0; i < 3; i++ {
+		if c2.delivered[i] || c2.sent[i] || c2.retrans[i] || c2.sendTime[i] != 0 {
+			t.Errorf("per-segment slot %d carries stale state", i)
+		}
+	}
+	if c2.rtoEv != (des.Handle{}) {
+		t.Error("recycled connection carries a stale RTO handle")
+	}
+	if !c2.sender.InSlowStart() || c2.sender.InFlight() != 0 || c2.sender.NextSequence() != 0 ||
+		c2.sender.Retransmits() != 0 {
+		t.Error("recycled sender is not back in the initial slow-start state")
+	}
+
+	// A transit hop stamped with the old generation must stand down.
+	tr := c.getCT()
+	tr.conn = c2
+	tr.gen = gen1
+	tr.kind = ctAck
+	tr.ack = 2
+	tr.fn()
+	if c2.recvNext != 0 {
+		t.Error("stale-generation transit mutated the record's new occupant")
+	}
+	tr2 := c.getCT()
+	if tr2 != tr {
+		t.Error("dispatched transit record did not return to the freelist")
+	}
+	c2.abort()
+}
+
 // TestSessionLifecycleRecycles drives one real session to completion and
 // checks the record lands back on the freelist through the model's own code
 // path (session.end), not just the manual put.

@@ -14,8 +14,9 @@ import (
 // the bit-identity contract (see the determinism contract of package probe).
 // Because the shadows receive exactly the model's update sequence and are
 // started with the model's measurement-window values, their final MeanAt at
-// the measurement end reproduces a non-mid cell's terminal PerCell gauges
-// bit for bit.
+// the measurement end reproduces every cell's terminal PerCell gauges bit
+// for bit — the mid cell included, since batch boundaries difference running
+// integrals instead of restarting its gauges.
 type probeGauges struct {
 	pdch, queue, voice, sess stats.TimeWeighted
 }
@@ -110,7 +111,7 @@ func (ps *probeState) sample(t float64) {
 		cs.QueueExpired = append(cs.QueueExpired, c.hoQueueExpired-hbase.expired)
 		cs.Retries = append(cs.Retries, c.hoRetries-hbase.retries)
 		cs.TransitEnds = append(cs.TransitEnds, c.hoTransitEnds-hbase.transitEnds)
-		cs.QueueLen = append(cs.QueueLen, len(c.buffer))
+		cs.QueueLen = append(cs.QueueLen, c.queuedPackets())
 		cs.VoiceCalls = append(cs.VoiceCalls, c.voiceCalls)
 		cs.Sessions = append(cs.Sessions, c.sessions)
 		cs.CarriedData = append(cs.CarriedData, g.pdch.MeanAt(t))

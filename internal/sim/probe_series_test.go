@@ -10,12 +10,10 @@ import (
 	"bytes"
 	"encoding/csv"
 	"fmt"
-	"math"
 	"reflect"
 	"strconv"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/partition"
 	"repro/internal/probe"
@@ -87,10 +85,12 @@ func TestGoldenResultDigestsProbesArmed(t *testing.T) {
 // the final (clamped) window's cumulative counters equal the terminal PerCell
 // totals bit for bit, the derived ratios (blocking, loss, delay, throughput)
 // reproduce the report's formulas exactly, and the shadow-gauge means match
-// the terminal time averages — bitwise for non-mid cells, to rounding for the
-// mid cell (whose report value is the batch-means mean over equal-length
-// batches, an algebraically equal but differently associated sum). The
-// recorded series itself must be bit-identical across engines.
+// the terminal time averages bit for bit in every cell — the mid cell
+// included, since the batch-means loop differences running integrals instead
+// of restarting the mid cell's gauges, and radio-block deliveries are
+// processed at their true timestamps so no gauge update ever lands past a
+// window boundary. The recorded series itself must be bit-identical across
+// engines.
 func TestSeriesMatchesPerCellAggregates(t *testing.T) {
 	cfg := scenarioQuickConfig(t, 7)
 	// 70 s does not divide the 600 s measurement: the final window is clamped
@@ -154,21 +154,12 @@ func TestSeriesMatchesPerCellAggregates(t *testing.T) {
 			{"CVT", cs.CarriedVoice[k], m.CarriedVoiceTraffic},
 			{"AGS", cs.AvgSessions[k], m.AverageSessions},
 		}
-		// The mid cell's report gauge is the mean of per-batch time averages,
-		// and radio-block completions stamp updates up to one block period
-		// (20 ms) past each batch boundary: each batch window is normalized
-		// over its slightly extended span, so the batch-means mean differs
-		// from the single whole-window average by O(blockPeriod/batchDur)
-		// boundary slop — an estimator property of the report, not probe
-		// drift. Every other cell keeps one window for the whole measurement,
-		// where shadow and model accumulators hold identical state and the
-		// means must agree bit for bit.
+		// Every cell keeps one gauge window for the whole measurement (batch
+		// boundaries only read running integrals), so shadow and model
+		// accumulators hold identical state and the means must agree bit for
+		// bit — no boundary tolerance, mid cell included.
 		for _, g := range gauges {
-			if i == cluster.MidCell {
-				if diff := math.Abs(g.got - g.want); diff > 1e-3*math.Max(1, math.Abs(g.want)) {
-					t.Errorf("mid cell: series %s mean %v vs batch-means %v (diff %g)", g.name, g.got, g.want, diff)
-				}
-			} else if g.got != g.want {
+			if g.got != g.want {
 				t.Errorf("cell %d: series %s mean %v, want terminal %v bit-identically", i, g.name, g.got, g.want)
 			}
 		}

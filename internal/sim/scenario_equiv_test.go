@@ -172,37 +172,45 @@ func policyDigest(r sim.Results) string {
 }
 
 // goldenDigests pins the exact seed results of scenarioQuickConfig runs bit
-// for bit: the canonical digests were captured from the pre-policy engines
-// (immediately before the admission-policy layer landed), whose sample paths
-// reach back unchanged to the pre-pooling engines of PR 6. A nil-policy run
-// must keep reproducing them — the policy layer exists strictly behind
-// Config.Policy. The busyhour ramp steps after the quick config's horizon and
-// the uniform scenario is the identity, so their digests legitimately equal
-// the baseline's — the table keeps them as separate rows so a future config
-// change that moves the horizon shows up. The table is shared by
-// TestGoldenResultDigests (probes off) and TestGoldenResultDigestsProbesArmed
-// (probes on): both columns must reproduce the same digests.
+// for bit. The digests were re-baselined when packet delivery moved onto its
+// own drain tick (every busy period gained one radio-tick event, so Events —
+// a digested field — shifted everywhere); within that baseline they are
+// identical across engines, shard counts, event-queue kinds, and probe
+// arming, which is the invariant the suites below enforce. The busyhour ramp
+// steps after the quick config's horizon and the uniform scenario is the
+// identity, so their digests legitimately equal the baseline's — the table
+// keeps them as separate rows so a future config change that moves the
+// horizon shows up. The trace and mmpp-bursty rows pin the empirical-traffic
+// layer: a periodic measured replay and a pre-sampled MMPP burst pattern,
+// both crossing several rate changes inside the quick horizon. The table is
+// shared by TestGoldenResultDigests (probes off) and
+// TestGoldenResultDigestsProbesArmed (probes on): both columns must
+// reproduce the same digests.
 var goldenDigests = []struct {
 	name  string
 	cells int
 	want  string
 }{
-	{"baseline", 7, "74bf98b1c4a0df85"},
-	{"busyhour", 7, "74bf98b1c4a0df85"},
-	{"gradient", 7, "b3dd64c761cfbec8"},
-	{"highway", 7, "6f79ffb6d3498ac3"},
-	{"hotspot", 7, "30294046ae442980"},
-	{"hotspot-busyhour", 7, "30294046ae442980"},
-	{"hotspot-pedestrian", 7, "fd6fe11fb72b9841"},
-	{"uniform", 7, "74bf98b1c4a0df85"},
-	{"baseline", 19, "0dcec7a6be0fea2a"},
-	{"busyhour", 19, "0dcec7a6be0fea2a"},
-	{"gradient", 19, "a8fd24138cae1e1a"},
-	{"highway", 19, "24e23cc8a28565a8"},
-	{"hotspot", 19, "0f2065b0bf52ec34"},
-	{"hotspot-busyhour", 19, "0f2065b0bf52ec34"},
-	{"hotspot-pedestrian", 19, "4df1e9e2243b6227"},
-	{"uniform", 19, "0dcec7a6be0fea2a"},
+	{"baseline", 7, "0646231e09b39bea"},
+	{"busyhour", 7, "0646231e09b39bea"},
+	{"gradient", 7, "7b1576d22ed88d18"},
+	{"highway", 7, "083ab3f1cdad85c4"},
+	{"hotspot", 7, "084ee30fa9b655c7"},
+	{"hotspot-busyhour", 7, "084ee30fa9b655c7"},
+	{"hotspot-pedestrian", 7, "2ad91a04c8462566"},
+	{"mmpp-bursty", 7, "3fa6c6d847f0b328"},
+	{"trace", 7, "b1947f3946bba178"},
+	{"uniform", 7, "0646231e09b39bea"},
+	{"baseline", 19, "6728a44cb6d51b4a"},
+	{"busyhour", 19, "6728a44cb6d51b4a"},
+	{"gradient", 19, "b83cf8bd4debdd68"},
+	{"highway", 19, "fac007f898b72ca4"},
+	{"hotspot", 19, "8bf4bdcc625bed54"},
+	{"hotspot-busyhour", 19, "8bf4bdcc625bed54"},
+	{"hotspot-pedestrian", 19, "3f04884a08ee7130"},
+	{"mmpp-bursty", 19, "82b353ae86012c3e"},
+	{"trace", 19, "6b00dc56f5b013c0"},
+	{"uniform", 19, "6728a44cb6d51b4a"},
 }
 
 // goldenConfig assembles the pinned run of one goldenDigests row.
@@ -280,6 +288,78 @@ func TestUniformScenarioReproducesBaseline(t *testing.T) {
 		gotSharded := mustRun(t, withScenario, 3)
 		if !reflect.DeepEqual(gotSharded, baseline) {
 			t.Errorf("%d cells: sharded uniform scenario perturbed the baseline results", cells)
+		}
+	}
+}
+
+// TestConstantTraceReproducesUniform pins the empirical layer's identity
+// contract: a trace whose measured rates are all (bitwise) equal normalizes
+// to scale exactly 1 and coalesces to the constant schedule, so replaying it
+// must reproduce the profile-less baseline — the paper's symmetric load —
+// bit for bit, on the serial and the sharded engine alike. The trace's
+// absolute rate level is deliberately arbitrary (2.5 of whatever the
+// measured unit was): normalization is what makes it the baseline.
+func TestConstantTraceReproducesUniform(t *testing.T) {
+	for _, cells := range []int{7, 19} {
+		if cells != 7 && testing.Short() {
+			continue
+		}
+		baseline := mustRun(t, scenarioQuickConfig(t, cells), 1)
+
+		cfg := scenarioQuickConfig(t, cells)
+		flat := scenario.Spec{Temporal: scenario.Temporal{Kind: scenario.Trace,
+			Rows: []scenario.TraceRow{
+				{AtSec: 0, RatePerSec: 2.5},
+				{AtSec: 250, RatePerSec: 2.5},
+				{AtSec: 700, RatePerSec: 2.5},
+			}}}
+		if _, err := scenario.Apply(&cfg, flat); err != nil {
+			t.Fatal(err)
+		}
+		if got := mustRun(t, cfg, 1); !reflect.DeepEqual(got, baseline) {
+			t.Errorf("%d cells: constant-rate trace perturbed the baseline results", cells)
+		}
+		if got := mustRun(t, cfg, 3); !reflect.DeepEqual(got, baseline) {
+			t.Errorf("%d cells: sharded constant-rate trace perturbed the baseline results", cells)
+		}
+	}
+}
+
+// TestTraceMMPPShardedBitIdentity is the full-fidelity equivalence matrix of
+// the empirical-traffic layer, named so the CI race job can select it: the
+// trace replay and the MMPP burst pattern — the presets whose schedules are
+// generated rather than hand-written — must stay bit-identical between the
+// serial engine and the {1, 4}-shard layouts on both cluster sizes. -short
+// keeps the seven-cell column only.
+func TestTraceMMPPShardedBitIdentity(t *testing.T) {
+	for _, name := range []string{"trace", "mmpp-bursty"} {
+		spec, err := scenario.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cells := range []int{7, 19} {
+			if cells != 7 && testing.Short() {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%dcells", name, cells), func(t *testing.T) {
+				cfg := scenarioQuickConfig(t, cells)
+				if _, err := scenario.Apply(&cfg, spec); err != nil {
+					t.Fatal(err)
+				}
+				serial := mustRun(t, cfg, 1)
+				if serial.Events == 0 || serial.PacketsOffered == 0 {
+					t.Fatalf("%s on %d cells: degenerate run", name, cells)
+				}
+				baseline := mustRun(t, scenarioQuickConfig(t, cells), 1)
+				if reflect.DeepEqual(serial, baseline) {
+					t.Errorf("%s should modulate the sample path away from the baseline", name)
+				}
+				for _, shards := range []int{1, 4} {
+					if sharded := mustRun(t, cfg, shards); !reflect.DeepEqual(sharded, serial) {
+						t.Errorf("%s on %d cells: %d-shard run differs from serial engine", name, cells, shards)
+					}
+				}
+			})
 		}
 	}
 }

@@ -7,9 +7,13 @@ import (
 
 // packet is one 480-byte network-layer data packet travelling through the BSC
 // buffer of a cell. Packets are recycled through the cell's freelist when they
-// are delivered or dropped.
+// are delivered or dropped. connGen snapshots the owning connection record's
+// generation at enqueue time: connection records are pooled too, so a packet
+// still draining after its transfer ended must not wake the record's next
+// occupant (cell.deliver checks the generation).
 type packet struct {
 	conn       *connection
+	connGen    uint64
 	seq        int
 	enqueuedAt float64
 	blocksLeft int
@@ -242,21 +246,32 @@ func (s *session) scheduleHandover() {
 // and restarts the outstanding segments in the target cell, so all of its
 // events stay on the calendar of the cell that opened it.
 //
-// Connections are deliberately exempt from the allocation-free contract: the
-// per-segment bookkeeping maps and delivery closures allocate, which is why
-// the allocation-budget tests run with EnableTCP=false. Pooling the TCP path
-// would buy little — a connection lives for a whole document transfer, not
-// for one event.
+// Connection records are pooled on the cell's freelist like every other model
+// record, so the TCP path honours the allocation-free contract too: the
+// per-segment bookkeeping lives in grow-only slices cleared on reuse, the
+// segment/ACK transit hops are pooled connTransit records with closures bound
+// once, and the tcp.Sender is allocated once per record and Reset on reuse.
+// gen increments at every acquisition and is never reset, so packets and
+// transit records stamped with an old generation can recognise that the
+// record has moved on to a new transfer (the ABA guard of the pool).
 type connection struct {
 	sess   *session
 	cell   *cell
 	sender *tcp.Sender
+	gen    uint64
 
-	total         int
-	recvNext      int
-	deliveredSeqs map[int]bool
-	sendTimes     map[int]float64
-	retransmitted map[int]bool
+	total    int
+	recvNext int
+	// Per-segment bookkeeping, indexed by sequence number: delivered marks
+	// segments received by the mobile, sent/retrans and sendTime drive
+	// Karn-sampled RTT measurements. The slices start at total entries but
+	// extend on demand (ensureSeq): a fast retransmit issued after a timeout
+	// resent everything can carry a sequence one past the document, which the
+	// receiver acknowledges like any other segment.
+	delivered []bool
+	sent      []bool
+	retrans   []bool
+	sendTime  []float64
 
 	rtoEv des.Handle
 	done  bool
@@ -264,22 +279,79 @@ type connection struct {
 	onTimeoutFn func()
 }
 
+// newConnection acquires a pooled connection record of the session's cell for
+// a transfer of totalSegments segments. The record returns fully reset: a
+// recycled sender restarts in slow start, the per-segment slices are cleared
+// (growing only when this transfer exceeds the record's historical maximum),
+// and the generation advances so stale packets and transits stand down.
 func newConnection(s *session, totalSegments int) (*connection, error) {
-	sender, err := tcp.NewSender(s.cfg().TCP)
-	if err != nil {
-		return nil, err
+	c := s.cell.getConn()
+	if c.sender == nil {
+		sender, err := tcp.NewSender(s.cfg().TCP)
+		if err != nil {
+			s.cell.putConn(c)
+			return nil, err
+		}
+		c.sender = sender
+	} else {
+		c.sender.Reset()
 	}
-	c := &connection{
-		sess:          s,
-		cell:          s.cell,
-		sender:        sender,
-		total:         totalSegments,
-		deliveredSeqs: make(map[int]bool, totalSegments),
-		sendTimes:     make(map[int]float64, totalSegments),
-		retransmitted: make(map[int]bool),
-	}
-	c.onTimeoutFn = c.onTimeout
+	c.gen++
+	c.sess = s
+	c.done = false
+	c.total = totalSegments
+	c.recvNext = 0
+	c.delivered = growBools(c.delivered, totalSegments)
+	c.sent = growBools(c.sent, totalSegments)
+	c.retrans = growBools(c.retrans, totalSegments)
+	c.sendTime = growFloats(c.sendTime, totalSegments)
 	return c, nil
+}
+
+// growBools returns b resized to n cleared entries, reusing its backing array
+// when it is large enough and rounding growth to powers of two so a record's
+// slices stop allocating once it has seen its largest transfer.
+func growBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		c := 1
+		for c < n {
+			c <<= 1
+		}
+		return make([]bool, n, c)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// growFloats is the float64 counterpart of growBools.
+func growFloats(f []float64, n int) []float64 {
+	if cap(f) < n {
+		c := 1
+		for c < n {
+			c <<= 1
+		}
+		return make([]float64, n, c)
+	}
+	f = f[:n]
+	for i := range f {
+		f[i] = 0
+	}
+	return f
+}
+
+// ensureSeq extends the per-segment bookkeeping to cover sequence seq,
+// zero-filling the new tail. Growth past total happens only in the rare
+// phantom-retransmit case, so amortized this never allocates at steady state.
+func (c *connection) ensureSeq(seq int) {
+	for len(c.delivered) <= seq {
+		c.delivered = append(c.delivered, false)
+		c.sent = append(c.sent, false)
+		c.retrans = append(c.retrans, false)
+		c.sendTime = append(c.sendTime, 0)
+	}
 }
 
 // pump transmits new segments while the congestion window allows it.
@@ -295,37 +367,41 @@ func (c *connection) send(seq int) {
 	if c.done {
 		return
 	}
-	if _, seen := c.sendTimes[seq]; seen {
-		c.retransmitted[seq] = true
+	c.ensureSeq(seq)
+	if c.sent[seq] {
+		c.retrans[seq] = true
 	}
-	c.sendTimes[seq] = c.cell.now()
-	c.cell.schedule(c.sess.cfg().CoreNetworkDelaySec, func() {
-		if c.done {
-			return
-		}
-		p := c.cell.getPacket()
-		p.conn = c
-		p.seq = seq
-		c.cell.enqueue(p)
-	})
+	c.sent[seq] = true
+	c.sendTime[seq] = c.cell.now()
+	t := c.cell.getCT()
+	t.conn = c
+	t.gen = c.gen
+	t.kind = ctSegment
+	t.seq = seq
+	c.cell.schedule(c.sess.cfg().CoreNetworkDelaySec, t.fn)
 	c.restartRTO()
 }
 
 // onDelivered is called when a segment reaches the mobile station; the
 // receiver advances its cumulative ACK and returns it over the uplink.
-func (c *connection) onDelivered(seq int, at float64) {
+func (c *connection) onDelivered(seq int) {
 	if c.done {
 		return
 	}
-	if !c.deliveredSeqs[seq] {
-		c.deliveredSeqs[seq] = true
-		for c.deliveredSeqs[c.recvNext] {
+	c.ensureSeq(seq)
+	if !c.delivered[seq] {
+		c.delivered[seq] = true
+		for c.recvNext < len(c.delivered) && c.delivered[c.recvNext] {
 			c.recvNext++
 		}
 	}
-	ackVal := c.recvNext
-	delay := c.sess.cfg().UplinkDelaySec + c.sess.cfg().CoreNetworkDelaySec
-	c.cell.schedule(delay+(at-c.cell.now()), func() { c.onAck(ackVal, seq) })
+	t := c.cell.getCT()
+	t.conn = c
+	t.gen = c.gen
+	t.kind = ctAck
+	t.seq = seq
+	t.ack = c.recvNext
+	c.cell.schedule(c.sess.cfg().UplinkDelaySec+c.sess.cfg().CoreNetworkDelaySec, t.fn)
 }
 
 // onAck processes a cumulative acknowledgement arriving at the sender.
@@ -334,10 +410,8 @@ func (c *connection) onAck(ackVal, sampleSeq int) {
 		return
 	}
 	var sample float64
-	if !c.retransmitted[sampleSeq] {
-		if sent, ok := c.sendTimes[sampleSeq]; ok {
-			sample = c.cell.now() - sent
-		}
+	if c.sent[sampleSeq] && !c.retrans[sampleSeq] {
+		sample = c.cell.now() - c.sendTime[sampleSeq]
 	}
 	res := c.sender.OnAck(ackVal, sample)
 	if res.FastRetransmit {
@@ -373,7 +447,11 @@ func (c *connection) restartRTO() {
 	c.rtoEv = c.cell.schedule(c.sender.RTO(), c.onTimeoutFn)
 }
 
-// complete finishes the transfer and hands control back to the session.
+// complete finishes the transfer, recycles the record, and hands control back
+// to the session. Recycling before the session callback is safe on the
+// single-goroutine calendar: packetCallComplete detaches the session from the
+// connection as its first action, and any transfer it starts next acquires a
+// record (possibly this one) only after the detach.
 func (c *connection) complete() {
 	if c.done {
 		return
@@ -382,12 +460,15 @@ func (c *connection) complete() {
 	c.rtoEv.Cancel()
 	c.cell.tcpTimeouts += int64(c.sender.Timeouts())
 	c.cell.tcpFastRecovers += int64(c.sender.FastRecoveries())
-	c.sess.packetCallComplete()
+	sess := c.sess
+	c.cell.putConn(c)
+	sess.packetCallComplete()
 }
 
 // abort terminates the transfer without notifying the session (used when the
-// session itself ends or leaves the cell). The sender's congestion events are
-// credited to the cell the transfer ran in.
+// session itself ends or leaves the cell) and recycles the record. The
+// sender's congestion events are credited to the cell the transfer ran in;
+// callers must capture any transfer state they need before aborting.
 func (c *connection) abort() {
 	if c.done {
 		return
@@ -396,4 +477,5 @@ func (c *connection) abort() {
 	c.rtoEv.Cancel()
 	c.cell.tcpTimeouts += int64(c.sender.Timeouts())
 	c.cell.tcpFastRecovers += int64(c.sender.FastRecoveries())
+	c.cell.putConn(c)
 }

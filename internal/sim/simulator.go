@@ -205,13 +205,14 @@ func collectRun(e engineCore) (Results, error) {
 	lastEvents := e.processedEvents()
 	probe.Default.EventsProcessed.Add(lastEvents)
 	end := warmupEnd
+	snapInt := mid.gaugeIntegralsAt(warmupEnd)
 	for b := 1; b <= cfg.Batches; b++ {
 		end = warmupEnd + float64(b)*batchDur
 		if err := advanceProbed(e, ps, end); err != nil {
 			return Results{}, err
 		}
-		mid.finishBatch(acc, snap, end, batchDur)
-		snap = mid.resetBatchWindow(end)
+		snapInt = mid.finishBatch(acc, snap, snapInt, end, batchDur)
+		snap = mid.snapshot()
 		cur := e.processedEvents()
 		probe.Default.EventsProcessed.Add(cur - lastEvents)
 		lastEvents = cur
@@ -230,7 +231,7 @@ func collectRun(e engineCore) (Results, error) {
 	}
 	res.SimulatedSec = cfg.MeasurementSec
 	res.Events = e.processedEvents()
-	res.PerCell = perCellMeasures(cells, acc, perStart, hoStart, end, cfg.MeasurementSec)
+	res.PerCell = perCellMeasures(cells, perStart, hoStart, end, cfg.MeasurementSec)
 
 	hits, misses, free := e.poolStats()
 	probe.Default.PoolHits.Add(hits)
@@ -240,29 +241,23 @@ func collectRun(e engineCore) (Results, error) {
 	return res, nil
 }
 
-// perCellMeasures assembles the per-cell report at the end of a run. Non-mid
-// cells report their time-weighted statistics directly over the measurement
-// window (their windows were reset once, at the end of the warm-up); the mid
-// cell's window is reset at every batch boundary, so its time averages come
-// from the batch accumulator — the mean over equal-length batches equals the
-// whole-window average.
-func perCellMeasures(cells []*cell, acc *batchAccumulator, perStart []cellSnapshot,
+// perCellMeasures assembles the per-cell report at the end of a run. Every
+// cell — the mid cell included — reports its time-weighted statistics
+// directly over the measurement window: windows are reset once, at the end of
+// the warm-up, and batch boundaries only read running integrals. The armed
+// probe's shadow gauges receive the identical update sequence from the
+// identical start, so the final probe window reproduces these gauge values
+// bit for bit (pinned by TestSeriesMatchesPerCellAggregates).
+func perCellMeasures(cells []*cell, perStart []cellSnapshot,
 	hoStart []hoSnapshot, end, measurementSec float64) []CellMeasures {
 	out := make([]CellMeasures, len(cells))
 	for i, c := range cells {
 		cur := c.snapshot()
 		m := CellMeasures{Cell: i}
-		if i == cluster.MidCell {
-			m.CarriedDataTraffic = acc.cdt.Mean()
-			m.MeanQueueLength = acc.queueLen.Mean()
-			m.CarriedVoiceTraffic = acc.cvt.Mean()
-			m.AverageSessions = acc.ags.Mean()
-		} else {
-			m.CarriedDataTraffic = c.pdchUsage.Mean(end)
-			m.MeanQueueLength = c.queueLen.Mean(end)
-			m.CarriedVoiceTraffic = c.voiceOcc.Mean(end)
-			m.AverageSessions = c.sessOcc.Mean(end)
-		}
+		m.CarriedDataTraffic = c.pdchUsage.Mean(end)
+		m.MeanQueueLength = c.queueLen.Mean(end)
+		m.CarriedVoiceTraffic = c.voiceOcc.Mean(end)
+		m.AverageSessions = c.sessOcc.Mean(end)
 		m.PacketsOffered = cur.offered - perStart[i].offered
 		m.PacketsLost = cur.lost - perStart[i].lost
 		m.PacketsDelivered = cur.delivered - perStart[i].delivered

@@ -80,6 +80,24 @@ func (tw *TimeWeighted) MeanAt(t float64) float64 {
 	return integral / elapsed
 }
 
+// IntegralAt returns the accumulated time-integral of the variable over
+// [start, t] without advancing the accumulator, mirroring MeanAt: the
+// internal integral and clock are left untouched, and the arithmetic performs
+// exactly the float operations a terminal read at t would perform. The
+// batch-means loop of internal/sim differences IntegralAt values at batch
+// boundaries, so a gauge can serve per-batch means without ever being reset —
+// which keeps its terminal Mean bit-identical to an untouched accumulator's.
+func (tw *TimeWeighted) IntegralAt(t float64) float64 {
+	if !tw.started {
+		return 0
+	}
+	integral := tw.integral
+	if t > tw.lastT {
+		integral += tw.lastV * (t - tw.lastT)
+	}
+	return integral
+}
+
 // Current returns the value recorded by the most recent update.
 func (tw *TimeWeighted) Current() float64 { return tw.lastV }
 

@@ -124,6 +124,15 @@ func NewSender(cfg Config) (*Sender, error) {
 	}, nil
 }
 
+// Reset returns the sender to the initial slow-start state NewSender would
+// produce for its configuration, reusing the record. The detailed simulator
+// pools connection records per cell, so a recycled sender must start its next
+// transfer from exactly the state a freshly constructed one would.
+func (s *Sender) Reset() {
+	c := s.cfg
+	*s = Sender{cfg: c, cwnd: c.InitialWindow, ssthresh: c.InitialSSThresh, rto: c.InitialRTOSec}
+}
+
 // Window returns the current congestion window in segments (at least 1).
 func (s *Sender) Window() float64 { return math.Max(1, math.Min(s.cwnd, s.cfg.MaxWindow)) }
 
